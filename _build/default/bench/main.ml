@@ -1,0 +1,490 @@
+(** The experiment harness: regenerates every evaluation result in the
+    paper (see DESIGN.md's experiment index and EXPERIMENTS.md for the
+    recorded outcomes).
+
+    Usage:
+    - [dune exec bench/main.exe]            — all experiment tables
+    - [dune exec bench/main.exe -- micro]   — bechamel micro-benchmarks
+    - [dune exec bench/main.exe -- fig_sample sec6_employee ...] — a subset
+
+    The paper's evaluation (Sections 6–7) reports numbers in prose rather
+    than numbered tables; each "experiment" below corresponds to one row of
+    DESIGN.md's experiment index. *)
+
+module Flags = Annot.Flags
+module E = Corpus.Employee_db
+
+let section title =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "%s\n" title;
+  Printf.printf "================================================================\n"
+
+let row fmt = Printf.printf fmt
+
+let time f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+(* ------------------------------------------------------------------ *)
+(* F1-F4: the sample.c figures                                         *)
+(* ------------------------------------------------------------------ *)
+
+let fig_sample () =
+  section "F1-F4: sample.c (paper Figures 1-4) -- anomaly messages";
+  let flags = Flags.(allimponly_off default) in
+  let cases =
+    [
+      ("Figure 1 (no annotations)", Corpus.Figures.fig1_sample, 0);
+      ("Figure 2 (null parameter)", Corpus.Figures.fig2_sample_null, 1);
+      ("Figure 3 (truenull fix)", Corpus.Figures.fig3_sample_fixed, 0);
+      ("Figure 4 (only vs temp)", Corpus.Figures.fig4_sample_only_temp, 2);
+    ]
+  in
+  row "  %-28s %-10s %-10s %s\n" "figure" "paper" "measured" "status";
+  List.iter
+    (fun (name, src, expected) ->
+      let r = Stdspec.check ~flags ~file:"sample.c" src in
+      let n = List.length r.Check.reports in
+      row "  %-28s %-10d %-10d %s\n" name expected n
+        (if n = expected then "ok" else "MISMATCH");
+      List.iter
+        (fun d -> row "      %s\n" (Cfront.Diag.to_string d))
+        r.Check.reports)
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* F5-F6: list_addh                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let fig_listaddh () =
+  section "F5-F6: list_addh (paper Figures 5-6) -- the two anomalies";
+  let flags = Flags.(allimponly_off default) in
+  let r = Stdspec.check ~flags ~file:"list.c" Corpus.Figures.fig5_list_addh in
+  row "  paper: a kept/only confluence anomaly on e, and an incomplete\n";
+  row "  definition reachable from the parameter (argl->next->next).\n";
+  row "  measured (%d anomalies):\n" (List.length r.Check.reports);
+  List.iter (fun d -> row "    %s\n" (Cfront.Diag.to_string d)) r.Check.reports;
+  let r' =
+    Stdspec.check ~flags ~file:"list.c" Corpus.Figures.fig5_list_addh_fixed
+  in
+  row "  repaired version: %d anomalies (expected 0)\n"
+    (List.length r'.Check.reports)
+
+(* ------------------------------------------------------------------ *)
+(* E1: the Section 6 iteration                                         *)
+(* ------------------------------------------------------------------ *)
+
+let sec6_employee () =
+  section "E1: Section 6 -- iterative annotation of the employee database";
+  row "  (flags: -allimponly, as in the paper)\n\n";
+  row "  %-5s %-6s %-5s %-5s %-6s %-6s %-6s  %s\n" "run" "lines" "null" "def"
+    "alloc" "alias" "total" "paper says";
+  let paper_notes =
+    [
+      "1 null anomaly (erc_create)";
+      "3 null anomalies (requires-clause functions)";
+      "null clean; the 7 allocation anomalies";
+      "6 anomalies propagated up the call chain";
+      "more messages + first driver leaks";
+      "remaining driver leaks (6 in total)";
+      "1 aliasing anomaly (strcpy)";
+      "clean";
+    ]
+  in
+  for stage = 0 to E.max_stage do
+    let r = E.check ~flags:E.paper_flags stage in
+    let c = E.categorize r in
+    row "  %-5d %-6d %-5d %-5d %-6d %-6d %-6d  %s\n" stage (E.line_count stage)
+      c.E.c_null c.E.c_def c.E.c_alloc c.E.c_alias c.E.c_total
+      (List.nth paper_notes stage)
+  done;
+  let added = E.annotations_added E.max_stage in
+  row "\n  annotations added: %s\n"
+    (String.concat ", "
+       (List.filter_map
+          (fun (w, n) ->
+            if n > 0 then Some (Printf.sprintf "%d %s" n w) else None)
+          added));
+  row "  paper: \"A total of 15 annotations were needed ... one null\n";
+  row "  annotation on a structure field, one out annotation on a\n";
+  row "  parameter ..., and 13 only annotations.\"\n"
+
+(* ------------------------------------------------------------------ *)
+(* E2: scaling (Section 7 performance)                                 *)
+(* ------------------------------------------------------------------ *)
+
+let sec7_scaling () =
+  section "E2: Section 7 -- checking time vs program size";
+  row "  paper: 100k lines in < 4 minutes on a DEC 3000/500 (~417 lines/s);\n";
+  row "  a 5000-line module in < 10 seconds using interface libraries.\n";
+  row "  The shape to reproduce: near-linear scaling, faster modular checks.\n\n";
+  row "  %10s %10s %12s\n" "lines" "time" "lines/sec";
+  let rates =
+    List.map
+      (fun (modules, fns) ->
+        let p = Progen.generate ~modules ~fns_per_module:fns () in
+        let r, dt = time (fun () -> Progen.static_check p) in
+        assert (r.Check.reports = []);
+        let rate = float_of_int p.Progen.loc /. dt in
+        row "  %10d %9.3fs %12.0f\n" p.Progen.loc dt rate;
+        (p.Progen.loc, rate))
+      [ (2, 4); (8, 10); (16, 25); (32, 40); (64, 60); (128, 80) ]
+  in
+  (match (rates, List.rev rates) with
+  | _ :: _ :: _, (last_loc, last_rate) :: _ ->
+      let mid_rate =
+        let sorted = List.sort compare (List.map snd rates) in
+        List.nth sorted (List.length sorted / 2)
+      in
+      row "\n  linearity: rate at %d lines is %.0f%% of the median rate\n"
+        last_loc
+        (100.0 *. last_rate /. mid_rate)
+  | _ -> ());
+  let p = Progen.generate ~modules:64 ~fns_per_module:60 () in
+  let prog = Progen.analyse p in
+  let lib = Check.Libspec.save prog in
+  let _, t_whole = time (fun () -> Progen.static_check p) in
+  let flags = Flags.default in
+  let _, t_mod =
+    time (fun () ->
+        let env = Stdspec.environment ~flags () in
+        let env = Check.Libspec.load ~flags ~into:env ~file:"lib.lh" lib in
+        let name, text = List.hd p.Progen.files in
+        let typedefs =
+          Hashtbl.fold (fun k _ acc -> k :: acc) env.Sema.p_typedefs []
+        in
+        let tu = Cfront.Parser.parse_string ~typedefs ~file:name text in
+        ignore (Sema.analyze ~flags ~into:env tu);
+        List.iter
+          (fun ((fs : Sema.funsig), def) ->
+            if fs.Sema.fs_loc.Cfront.Loc.file = name then
+              Check.Checker.check_fundef env fs def)
+          (Sema.fundefs env))
+  in
+  row "  modular: whole program (%d lines) %.3fs; one module against the\n"
+    p.Progen.loc t_whole;
+  row "  interface library %.3fs (%.1fx faster)\n" t_mod (t_whole /. t_mod)
+
+(* ------------------------------------------------------------------ *)
+(* E3: message counts on unannotated code                              *)
+(* ------------------------------------------------------------------ *)
+
+let sec7_messages () =
+  section "E3: Section 7 -- messages on unannotated code, then annotated";
+  row "  paper: \"Running LCLint on the code with no annotations produced\n";
+  row "  on the order of a thousand messages.  Nearly all ... were quickly\n";
+  row "  eliminated by adding an annotation\"; 75 suppressions remained.\n\n";
+  let flags = Flags.(allimponly_off default) in
+  row "  %-10s %-12s %-12s %-12s\n" "modules" "lines" "unannotated" "annotated";
+  List.iter
+    (fun modules ->
+      let bare =
+        Progen.generate ~modules ~fns_per_module:8 ~annotated:false ()
+      in
+      let full = Progen.generate ~modules ~fns_per_module:8 () in
+      let rb = Progen.static_check ~flags bare in
+      let rf = Progen.static_check ~flags full in
+      row "  %-10d %-12d %-12d %-12d\n" modules bare.Progen.loc
+        (List.length rb.Check.reports)
+        (List.length rf.Check.reports))
+    [ 8; 32; 128 ];
+  let src =
+    "void f(/*@null@*/ int *p, /*@null@*/ int *q) {\n\
+     /*@i@*/ *p = 1;\n\
+     /*@ignore@*/\n\
+     *q = 2;\n\
+     /*@end@*/\n\
+     }"
+  in
+  let r = Stdspec.check ~flags ~file:"s.c" src in
+  row "\n  suppression: %d message(s) silenced by stylized comments, %d kept\n"
+    (List.length r.Check.suppressed)
+    (List.length r.Check.reports)
+
+(* ------------------------------------------------------------------ *)
+(* E4: the detection matrix                                            *)
+(* ------------------------------------------------------------------ *)
+
+let sec7_missed () =
+  section "E4: Section 7 -- what static checking finds and misses";
+  row "  paper: testing after static checking revealed frees of offset\n";
+  row "  pointers, two frees of static storage, and leaks of storage\n";
+  row "  reachable from globals -- all missed statically; run-time tools\n";
+  row "  found them.  (Footnote 8: later LCLint versions detect the\n";
+  row "  first two; our +freeoffset/+freestatic flags.)\n\n";
+  let p =
+    Progen.generate ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
+  in
+  let static_r = Progen.static_check p in
+  let static_ext =
+    Progen.static_check
+      ~flags:{ Flags.default with Flags.free_offset = true; free_static = true }
+      p
+  in
+  let dyn = Progen.dynamic_check p in
+  let static_sees reports (sb : Progen.seeded) =
+    let file = Printf.sprintf "m%d.c" sb.Progen.sb_module in
+    List.exists
+      (fun (d : Cfront.Diag.t) -> d.Cfront.Diag.loc.Cfront.Loc.file = file)
+      reports
+  in
+  let dyn_sees (sb : Progen.seeded) =
+    let file = Printf.sprintf "m%d.c" sb.Progen.sb_module in
+    List.exists
+      (fun (e : Rtcheck.Heap.error) -> e.Rtcheck.Heap.e_loc.Cfront.Loc.file = file)
+      dyn.Rtcheck.errors
+    || List.exists
+         (fun (l : Rtcheck.Heap.leak) ->
+           l.Rtcheck.Heap.lk_block.Rtcheck.Heap.b_alloc_site.Cfront.Loc.file
+           = file)
+         dyn.Rtcheck.leaks
+  in
+  row "  %-16s %-8s %-12s %-8s\n" "bug class" "static" "static+ext" "dynamic";
+  List.iter
+    (fun (sb : Progen.seeded) ->
+      row "  %-16s %-8s %-12s %-8s\n"
+        (Progen.bug_kind_string sb.Progen.sb_kind)
+        (if static_sees static_r.Check.reports sb then "found" else "missed")
+        (if static_sees static_ext.Check.reports sb then "found" else "missed")
+        (if dyn_sees sb then "found" else "missed"))
+    (List.sort compare p.Progen.seeded);
+  row "\n  employee database (fully annotated): static clean, but the\n";
+  row "  run-time leak check still reports storage reachable from globals:\n";
+  let flags = E.paper_flags in
+  let prog = Stdspec.environment ~flags () in
+  List.iter
+    (fun (f : E.file) ->
+      let typedefs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+      in
+      let tu = Cfront.Parser.parse_string ~typedefs ~file:f.E.name f.E.text in
+      ignore (Sema.analyze ~flags ~into:prog tu))
+    (E.stage E.max_stage);
+  let rt = Rtcheck.run prog in
+  row "    %d leaks, all reachable from globals: %b\n"
+    (List.length rt.Rtcheck.leaks)
+    (List.for_all
+       (fun (l : Rtcheck.Heap.leak) -> l.Rtcheck.Heap.lk_reachable)
+       rt.Rtcheck.leaks)
+
+(* ------------------------------------------------------------------ *)
+(* E5: run-time detection vs test coverage                             *)
+(* ------------------------------------------------------------------ *)
+
+let rt_coverage () =
+  section "E5: run-time detection vs test coverage";
+  row "  paper: \"Run-time checking also suffers from the flaw that its\n";
+  row "  effectiveness depends entirely on running the right test cases\".\n";
+  row "  Static findings do not depend on coverage.\n\n";
+  row "  %-10s %-16s %-12s %-14s\n" "coverage" "dynamic errors" "leaks"
+    "static reports";
+  List.iter
+    (fun cov ->
+      let p =
+        Progen.generate ~modules:8 ~fns_per_module:2
+          ~bugs:Progen.all_bug_kinds ~coverage:cov ()
+      in
+      let rt = Progen.dynamic_check p in
+      let st = Progen.static_check p in
+      row "  %-10.2f %-16d %-12d %-14d\n" cov
+        (List.length rt.Rtcheck.errors)
+        (List.length rt.Rtcheck.leaks)
+        (List.length st.Check.reports))
+    [ 0.0; 0.25; 0.5; 0.75; 1.0 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: annotation burden                                               *)
+(* ------------------------------------------------------------------ *)
+
+let annot_burden () =
+  section "E6: annotation burden -- messages resolved per annotation";
+  row "  paper: \"Often, adding a single annotation on a type declaration\n";
+  row "  or parameter would eliminate dozens of messages\"; with implicit\n";
+  row "  annotations only the 2 parameter annotations are needed.\n\n";
+  row "  %-5s %-14s %-10s %s\n" "run" "annotations" "messages"
+    "resolved/annotation";
+  let prev_total = ref None in
+  let prev_annots = ref 0 in
+  for stage = 0 to E.max_stage do
+    let r = E.check ~flags:E.paper_flags stage in
+    let total = List.length r.Check.reports in
+    let annots =
+      List.fold_left (fun acc (_, n) -> acc + n) 0 (E.annotations_added stage)
+    in
+    (match !prev_total with
+    | Some p when annots > !prev_annots && p > total ->
+        row "  %-5d %-14d %-10d %.1f\n" stage annots total
+          (float_of_int (p - total) /. float_of_int (annots - !prev_annots))
+    | _ -> row "  %-5d %-14d %-10d -\n" stage annots total);
+    prev_total := Some total;
+    prev_annots := annots
+  done;
+  let r_implicit = E.check ~flags:Flags.default 0 in
+  let driver_leaks =
+    List.filter
+      (fun (d : Cfront.Diag.t) ->
+        d.Cfront.Diag.code = "mustfree"
+        && d.Cfront.Diag.loc.Cfront.Loc.file = "drive.c")
+      r_implicit.Check.reports
+  in
+  row "\n  with implicit annotations, run 0 finds the %d driver leaks\n"
+    (List.length driver_leaks);
+  row "  directly (paper: \"these six errors would have been found\n";
+  row "  directly\"; only the parameter only annotations remain needed).\n"
+
+(* ------------------------------------------------------------------ *)
+(* E7: ablations of the analysis design choices                        *)
+(* ------------------------------------------------------------------ *)
+
+let ablation () =
+  section "E7: ablations -- what each analysis ingredient buys";
+  row "  The design choices DESIGN.md calls out: guard refinement (null\n";
+  row "  tests, Section 4) and alias tracking (Section 5, Fig. 6).  Each\n";
+  row "  column disables one ingredient; detection should degrade in the\n";
+  row "  predicted direction.\n\n";
+  let configs =
+    [
+      ("full", Flags.(allimponly_off default));
+      ( "-guards",
+        { Flags.(allimponly_off default) with Flags.guard_refinement = false }
+      );
+      ( "-aliastrack",
+        { Flags.(allimponly_off default) with Flags.alias_tracking = false } );
+    ]
+  in
+  let count flags src =
+    List.length (Stdspec.check ~flags ~file:"t.c" src).Check.reports
+  in
+  let seeded =
+    Progen.generate ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
+  in
+  row "  %-14s %-12s %-12s %-14s %-14s\n" "config" "fig3 (FPs)" "fig5 (hits)"
+    "db stage7 (FPs)" "seeded (hits)";
+  List.iter
+    (fun (name, flags) ->
+      let fig3 = count flags Corpus.Figures.fig3_sample_fixed in
+      let fig5 = count flags Corpus.Figures.fig5_list_addh in
+      let db =
+        List.length (E.check ~flags E.max_stage).Check.reports
+      in
+      let hits =
+        List.length (Progen.static_check ~flags:{ flags with Flags.implicit_only_returns = true; implicit_only_globals = true; implicit_only_fields = true } seeded).Check.reports
+      in
+      row "  %-14s %-12d %-12d %-14d %-14d\n" name fig3 fig5 db hits)
+    configs;
+  row "\n  reading: fig3/db-stage7 count false positives (0 for the full\n";
+  row "  analysis); fig5/seeded count real anomalies found.\n"
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro () =
+  section "Micro-benchmarks (bechamel)";
+  let open Bechamel in
+  let open Toolkit in
+  let db_files = E.stage E.max_stage in
+  let db_text = String.concat "\n" (List.map (fun (f : E.file) -> f.E.text) db_files) in
+  let gen = Progen.generate ~modules:8 ~fns_per_module:10 () in
+  let tests =
+    [
+      Test.make ~name:"lexer: employee db"
+        (Staged.stage (fun () ->
+             ignore (Cfront.Lexer.tokenize ~file:"db.c" db_text)));
+      Test.make ~name:"parser: employee db"
+        (Staged.stage (fun () ->
+             ignore
+               (Cfront.Parser.parse_string ~typedefs:[ "size_t"; "FILE" ]
+                  ~file:"db.c" db_text)));
+      Test.make ~name:"check: fig5 list_addh"
+        (Staged.stage (fun () ->
+             ignore
+               (Stdspec.check
+                  ~flags:Flags.(allimponly_off default)
+                  ~file:"list.c" Corpus.Figures.fig5_list_addh)));
+      Test.make ~name:"check: employee db stage 7"
+        (Staged.stage (fun () ->
+             ignore (E.check ~flags:E.paper_flags E.max_stage)));
+      Test.make ~name:"check: generated 3k lines"
+        (Staged.stage (fun () -> ignore (Progen.static_check gen)));
+      Test.make ~name:"interp: employee db"
+        (Staged.stage (fun () ->
+             let flags = E.paper_flags in
+             let prog = Stdspec.environment ~flags () in
+             List.iter
+               (fun (f : E.file) ->
+                 let typedefs =
+                   Hashtbl.fold
+                     (fun k _ acc -> k :: acc)
+                     prog.Sema.p_typedefs []
+                 in
+                 let tu =
+                   Cfront.Parser.parse_string ~typedefs ~file:f.E.name f.E.text
+                 in
+                 ignore (Sema.analyze ~flags ~into:prog tu))
+               db_files;
+             ignore (Rtcheck.run prog)));
+    ]
+  in
+  let benchmark test =
+    let instances = Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~kde:(Some 100) ()
+    in
+    Benchmark.all cfg instances test
+  in
+  let analyze results =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock results
+  in
+  List.iter
+    (fun test ->
+      let results = analyze (benchmark test) in
+      Hashtbl.iter
+        (fun name result ->
+          match Analyze.OLS.estimates result with
+          | Some [ est ] ->
+              let ms = est /. 1e6 in
+              if ms >= 1.0 then row "  %-32s %10.3f ms/run\n" name ms
+              else row "  %-32s %10.1f us/run\n" name (est /. 1e3)
+          | _ -> row "  %-32s (no estimate)\n" name)
+        results)
+    tests
+
+(* ------------------------------------------------------------------ *)
+(* Driver                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let experiments =
+  [
+    ("fig_sample", fig_sample);
+    ("fig_listaddh", fig_listaddh);
+    ("sec6_employee", sec6_employee);
+    ("sec7_scaling", sec7_scaling);
+    ("sec7_messages", sec7_messages);
+    ("sec7_missed", sec7_missed);
+    ("rt_coverage", rt_coverage);
+    ("annot_burden", annot_burden);
+    ("ablation", ablation);
+    ("micro", micro);
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | [] | [ _ ] -> List.map fst experiments
+    | _ :: args when args = [ "all" ] -> List.map fst experiments
+    | _ :: args -> args
+  in
+  List.iter
+    (fun name ->
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s (known: %s)\n" name
+            (String.concat ", " (List.map fst experiments));
+          exit 2)
+    requested

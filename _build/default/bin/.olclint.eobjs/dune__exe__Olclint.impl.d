@@ -1,0 +1,1 @@
+bin/olclint.ml: Annot Arg Cfront Check Cmd Cmdliner Fun Hashtbl List Printf Sema Stdspec String Term

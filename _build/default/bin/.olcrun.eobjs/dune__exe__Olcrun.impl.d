@@ -1,0 +1,1 @@
+bin/olcrun.ml: Annot Arg Cfront Cmd Cmdliner Format Fun Hashtbl List Printf Rtcheck Sema Stdspec Term

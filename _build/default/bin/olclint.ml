@@ -1,0 +1,133 @@
+(** olclint — the static checker's command-line interface.
+
+    Usage mirrors the original tool:
+
+    {v
+    olclint [FLAGS] file.c ...
+    olclint -allimponly erc.c empset.c drive.c
+    olclint -dump-lib out.lh file.c     # write an interface library
+    olclint -load-lib in.lh file.c      # check against a library
+    v}
+
+    Flags use LCLint's [+name]/[-name] convention (see {!Annot.Flags}). *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet =
+  let flags =
+    match Annot.Flags.(apply_all default) flag_args with
+    | Ok f -> f
+    | Error (Annot.Flags.Unknown_flag name) ->
+        Printf.eprintf "olclint: unknown flag '%s' (known: %s)\n" name
+          (String.concat ", " Annot.Flags.flag_names);
+        exit 2
+  in
+  let prog =
+    if no_stdlib then Sema.create_program ~flags ~file:"<none>" ()
+    else Stdspec.environment ~flags ()
+  in
+  (try
+     List.iter
+       (fun lib ->
+         ignore (Check.Libspec.load ~flags ~into:prog ~file:lib (read_file lib)))
+       load_libs;
+     List.iter
+       (fun spec ->
+         ignore
+           (Sema.analyze_spec_string ~flags ~into:prog ~file:spec
+              (read_file spec)))
+       lcl_specs;
+     List.iter
+       (fun file ->
+         let typedefs =
+           Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+         in
+         let tu = Cfront.Parser.parse_string ~typedefs ~file (read_file file) in
+         ignore (Sema.analyze ~flags ~into:prog tu))
+       files
+   with
+  | Cfront.Diag.Fatal d ->
+      Printf.eprintf "%s\n" (Cfront.Diag.to_string d);
+      exit 2
+  | Sys_error msg ->
+      Printf.eprintf "olclint: %s\n" msg;
+      exit 2);
+  Check.Checker.check_program prog;
+  let table, errs = Check.Suppress.of_pragmas prog.Sema.p_pragmas in
+  List.iter (Cfront.Diag.Collector.emit prog.Sema.diags) errs;
+  let all = Cfront.Diag.Collector.sorted prog.Sema.diags in
+  let kept, suppressed = Check.Suppress.filter table all in
+  if not quiet then
+    List.iter (fun d -> print_endline (Cfront.Diag.to_string d)) kept;
+  (match dump_lib with
+  | Some path ->
+      let oc = open_out path in
+      output_string oc (Check.Libspec.save prog);
+      close_out oc
+  | None -> ());
+  Printf.printf "%d code warning%s%s\n" (List.length kept)
+    (if List.length kept = 1 then "" else "s")
+    (if suppressed = [] then ""
+     else Printf.sprintf " (%d suppressed)" (List.length suppressed));
+  if kept = [] then 0 else 1
+
+let files_arg =
+  Arg.(value & pos_all string [] & info [] ~docv:"FILE" ~doc:"C source files")
+
+let flags_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "f"; "flag" ] ~docv:"[+-]NAME"
+        ~doc:
+          "Checking flag, LCLint style: +name enables, -name disables \
+           (e.g. -f -allimponly, -f +freeoffset).")
+
+let lcl_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "lcl" ] ~docv:"FILE"
+        ~doc:
+          "Load an LCL specification file (bare-word annotations, the \
+           paper's notation) before checking.")
+
+let load_lib_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "load-lib" ] ~docv:"FILE"
+        ~doc:"Load an interface library before checking (modular checking).")
+
+let dump_lib_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dump-lib" ] ~docv:"FILE"
+        ~doc:"Write the checked program's interface library to FILE.")
+
+let no_stdlib_arg =
+  Arg.(
+    value & flag
+    & info [ "no-stdlib" ] ~doc:"Do not preload the annotated standard library.")
+
+let quiet_arg =
+  Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
+
+let cmd =
+  let doc =
+    "static detection of dynamic memory errors (LCLint-style checker)"
+  in
+  Cmd.v
+    (Cmd.info "olclint" ~version:"1.0" ~doc)
+    Term.(
+      const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
+      $ dump_lib_arg $ no_stdlib_arg $ quiet_arg)
+
+let () = exit (Cmd.eval' cmd)

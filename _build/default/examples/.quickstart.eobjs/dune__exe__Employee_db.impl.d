@@ -1,0 +1,1 @@
+examples/employee_db.ml: Cfront Check Corpus Fmt List Printf String

@@ -1,0 +1,1 @@
+examples/leakhunt.ml: Annot Cfront Check Fmt List Printf Progen Rtcheck

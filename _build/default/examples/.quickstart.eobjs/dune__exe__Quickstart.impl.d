@@ -1,0 +1,1 @@
+examples/quickstart.ml: Annot Cfront Check Corpus List Printf Stdspec

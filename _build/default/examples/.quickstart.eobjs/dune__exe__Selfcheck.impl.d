@@ -1,0 +1,1 @@
+examples/selfcheck.ml: Annot Cfront Check Hashtbl List Printf Progen Sema Stdspec String Unix

@@ -1,0 +1,1 @@
+examples/specdriven.ml: Annot Cfront Check List Printf Rtcheck Sema Stdspec

@@ -1,0 +1,1 @@
+lib/annot/annot.pp.ml: Cfront Flags Fmt List Ppx_deriving_runtime String

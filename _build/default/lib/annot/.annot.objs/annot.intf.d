@@ -1,0 +1,1 @@
+lib/annot/annot.pp.mli: Cfront Flags Format

@@ -1,0 +1,1 @@
+lib/annot/flags.pp.mli:

@@ -1,0 +1,110 @@
+(** The annotation language (paper, Section 4 and Appendix B): categories,
+    parsing from [/*@...@*/] comment text, per-category override rules, and
+    cross-category compatibility.
+
+    "At most one annotation in any category can be used on a given
+    declaration" (Appendix B). *)
+
+module Flags = Flags
+
+(** Null-pointer annotations. *)
+type null_annot = Null | NotNull | RelNull
+
+(** Definition annotations. *)
+type def_annot = Out | In | Partial | RelDef
+
+(** Allocation annotations. *)
+type alloc_annot = Only | Keep | Temp | Owned | Dependent | Shared
+
+(** Exposure annotations. *)
+type expose_annot = Observer | Exposed
+
+val equal_null_annot : null_annot -> null_annot -> bool
+val compare_null_annot : null_annot -> null_annot -> int
+val pp_null_annot : Format.formatter -> null_annot -> unit
+val show_null_annot : null_annot -> string
+val equal_def_annot : def_annot -> def_annot -> bool
+val compare_def_annot : def_annot -> def_annot -> int
+val pp_def_annot : Format.formatter -> def_annot -> unit
+val show_def_annot : def_annot -> string
+val equal_alloc_annot : alloc_annot -> alloc_annot -> bool
+val compare_alloc_annot : alloc_annot -> alloc_annot -> int
+val pp_alloc_annot : Format.formatter -> alloc_annot -> unit
+val show_alloc_annot : alloc_annot -> string
+val equal_expose_annot : expose_annot -> expose_annot -> bool
+val compare_expose_annot : expose_annot -> expose_annot -> int
+val pp_expose_annot : Format.formatter -> expose_annot -> unit
+val show_expose_annot : expose_annot -> string
+
+(** A parsed annotation set as attached to one declaration. *)
+type set = {
+  an_null : null_annot option;
+  an_def : def_annot option;
+  an_alloc : alloc_annot option;
+  an_expose : expose_annot option;
+  an_unique : bool;
+  an_returned : bool;
+  an_truenull : bool;
+  an_falsenull : bool;
+  an_exits : bool;
+  an_undef : bool;  (** globals-list only *)
+  an_killed : bool;  (** globals-list only *)
+  an_refcounted : bool;  (** the reference-count extension ([3]) *)
+  an_newref : bool;
+  an_killref : bool;
+  an_tempref : bool;
+}
+
+val equal_set : set -> set -> bool
+val pp_set : Format.formatter -> set -> unit
+val show_set : set -> string
+
+val empty : set
+val is_empty : set -> bool
+
+(** One parsed annotation word. *)
+type word =
+  | Wnull of null_annot
+  | Wdef of def_annot
+  | Walloc of alloc_annot
+  | Wexpose of expose_annot
+  | Wunique
+  | Wreturned
+  | Wtruenull
+  | Wfalsenull
+  | Wexits
+  | Wundef
+  | Wkilled
+  | Wrefcounted
+  | Wnewref
+  | Wkillref
+  | Wtempref
+  | Wignore
+  | Wend
+  | Wiline
+  | Wunknown of string
+
+val word_of_string : string -> word
+val split_words : string -> string list
+
+type parse_error = { pe_loc : Cfront.Loc.t; pe_text : string }
+
+val of_annots : Cfront.Ast.annot list -> set * parse_error list
+(** Interpret raw annotation comments as one declaration's set; duplicate
+    categories and unknown words come back as errors. *)
+
+val override : base:set -> decl:set -> set
+(** Layer a declaration's annotations over its typedef's: per category the
+    declaration wins (the [notnull]-overrides-[null] rule, Section 4). *)
+
+val check_compat : set -> string option
+(** First incompatible combination, if any ("certain combinations of
+    annotations are incompatible and will produce static errors"). *)
+
+val to_words : set -> string list
+(** Canonical word list (the interface-library writer's form). *)
+
+val to_string : set -> string
+
+val of_string : string -> set
+(** Parse a word string; raises [Invalid_argument] on unknown words. *)

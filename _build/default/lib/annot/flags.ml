@@ -1,0 +1,159 @@
+(** Checking flags.
+
+    LCLint's behaviour is controlled by a large flag vocabulary; this module
+    reproduces the flags the paper relies on:
+
+    - implicit annotations ("Implicit only annotations can also be applied
+      to return values, structure fields and global variables", Section 6;
+      [-allimponly] turns them all off);
+    - GC mode ("flags can be used to adjust checking so only those errors
+      relevant in a garbage-collected environment are reported", Section 3);
+    - the unknown-array-index treatment ("compile-time unknown array indexes
+      ... are either all the same element of the array or independent
+      elements (depending on an LCLint flag ...)", Section 2);
+    - assuming [out] for unannotated parameters (Appendix B, "in");
+    - the post-paper extensions (footnote 8): detecting frees of offset
+      pointers and of static storage — off by default to match the paper's
+      reported miss profile.
+
+    Flags parse from LCLint-style command-line syntax: [-name] clears,
+    [+name] sets. *)
+
+type t = {
+  implicit_only_returns : bool;
+      (** unannotated pointer return values of functions defined in the
+          checked unit are implicitly [only] *)
+  implicit_only_globals : bool;
+      (** unannotated pointer globals are implicitly [only] *)
+  implicit_only_fields : bool;
+      (** unannotated pointer structure fields are implicitly [only] *)
+  implicit_temp_params : bool;
+      (** unannotated pointer parameters are implicitly [temp] (Section 6:
+          "An unqualified formal parameter is assumed to be temp storage") *)
+  implicit_out_params : bool;
+      (** assume [out] for unannotated parameters where it would prevent a
+          message (off by default) *)
+  gc_mode : bool;  (** garbage-collected environment: leak checks off *)
+  indep_array_elements : bool;
+      (** unknown array indexes denote independent elements (true) or all
+          the same element (false) *)
+  check_null : bool;
+  check_def : bool;
+  check_alloc : bool;
+  check_alias : bool;
+  check_use_released : bool;
+  free_offset : bool;  (** post-paper: report frees of offset pointers *)
+  free_static : bool;  (** post-paper: report frees of static storage *)
+  warn_unrecognized_annot : bool;
+  guard_refinement : bool;
+      (** recognize null tests in conditions (off only for ablation) *)
+  alias_tracking : bool;
+      (** track alias images across assignments (off only for ablation) *)
+}
+
+let default =
+  {
+    implicit_only_returns = true;
+    implicit_only_globals = true;
+    implicit_only_fields = true;
+    implicit_temp_params = true;
+    implicit_out_params = false;
+    gc_mode = false;
+    indep_array_elements = true;
+    check_null = true;
+    check_def = true;
+    check_alloc = true;
+    check_alias = true;
+    check_use_released = true;
+    free_offset = false;
+    free_static = false;
+    warn_unrecognized_annot = true;
+    guard_refinement = true;
+    alias_tracking = true;
+  }
+
+(** The paper's [-allimponly] run (Section 6): no implicit [only]
+    annotations anywhere, so every transfer of fresh storage surfaces. *)
+let allimponly_off f =
+  {
+    f with
+    implicit_only_returns = false;
+    implicit_only_globals = false;
+    implicit_only_fields = false;
+  }
+
+(** All checks off except parsing: used for message-count baselines. *)
+let none =
+  {
+    default with
+    check_null = false;
+    check_def = false;
+    check_alloc = false;
+    check_alias = false;
+    check_use_released = false;
+  }
+
+type flag_error = Unknown_flag of string
+
+(** Apply one LCLint-style flag string ([+name] enables, [-name] disables).
+    Returns [Error] for unknown names. *)
+let apply (f : t) (s : string) : (t, flag_error) result =
+  (* tolerate cmdliner's '=' glue (-f=-allimponly) and a no- prefix *)
+  let s =
+    if String.length s > 0 && s.[0] = '=' then
+      String.sub s 1 (String.length s - 1)
+    else s
+  in
+  let set, name =
+    if String.length s > 0 && s.[0] = '+' then
+      (true, String.sub s 1 (String.length s - 1))
+    else if String.length s > 0 && s.[0] = '-' then
+      (false, String.sub s 1 (String.length s - 1))
+    else if String.length s > 3 && String.sub s 0 3 = "no-" then
+      (false, String.sub s 3 (String.length s - 3))
+    else (true, s)
+  in
+  match name with
+  | "allimponly" ->
+      (* "+allimponly" asks for implicit only annotations (the default);
+         "-allimponly" disables them, as used in Section 6 *)
+      Ok
+        (if set then
+           {
+             f with
+             implicit_only_returns = true;
+             implicit_only_globals = true;
+             implicit_only_fields = true;
+           }
+         else allimponly_off f)
+  | "imponlyreturns" -> Ok { f with implicit_only_returns = set }
+  | "imponlyglobals" -> Ok { f with implicit_only_globals = set }
+  | "imponlyfields" -> Ok { f with implicit_only_fields = set }
+  | "imptempparams" -> Ok { f with implicit_temp_params = set }
+  | "impoutparams" -> Ok { f with implicit_out_params = set }
+  | "gc" -> Ok { f with gc_mode = set }
+  | "indeparrays" -> Ok { f with indep_array_elements = set }
+  | "null" -> Ok { f with check_null = set }
+  | "def" -> Ok { f with check_def = set }
+  | "alloc" -> Ok { f with check_alloc = set }
+  | "alias" -> Ok { f with check_alias = set }
+  | "usereleased" -> Ok { f with check_use_released = set }
+  | "freeoffset" -> Ok { f with free_offset = set }
+  | "freestatic" -> Ok { f with free_static = set }
+  | "annotwarn" -> Ok { f with warn_unrecognized_annot = set }
+  | "guards" -> Ok { f with guard_refinement = set }
+  | "aliastrack" -> Ok { f with alias_tracking = set }
+  | _ -> Error (Unknown_flag name)
+
+let apply_all (f : t) (ss : string list) : (t, flag_error) result =
+  List.fold_left
+    (fun acc s -> match acc with Ok f -> apply f s | e -> e)
+    (Ok f) ss
+
+let flag_names =
+  [
+    "allimponly"; "imponlyreturns"; "imponlyglobals"; "imponlyfields";
+    "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
+    "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
+    "guards"; "aliastrack";
+  ]

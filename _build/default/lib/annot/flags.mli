@@ -1,0 +1,48 @@
+(** Checking flags (LCLint's [+name]/[-name] convention).
+
+    Reproduces the flags the paper relies on: implicit annotations and
+    [-allimponly] (Section 6), GC mode (Section 3), the unknown-array-index
+    treatment (Section 2), assumed-[out] parameters (Appendix B), and the
+    post-paper [+freeoffset]/[+freestatic] extensions (footnote 8).  The
+    [guards]/[aliastrack] toggles exist for the ablation experiments. *)
+
+type t = {
+  implicit_only_returns : bool;
+  implicit_only_globals : bool;
+  implicit_only_fields : bool;
+  implicit_temp_params : bool;
+  implicit_out_params : bool;
+  gc_mode : bool;
+  indep_array_elements : bool;
+  check_null : bool;
+  check_def : bool;
+  check_alloc : bool;
+  check_alias : bool;
+  check_use_released : bool;
+  free_offset : bool;
+  free_static : bool;
+  warn_unrecognized_annot : bool;
+  guard_refinement : bool;
+  alias_tracking : bool;
+}
+
+val default : t
+
+val allimponly_off : t -> t
+(** The paper's [-allimponly] run: no implicit [only] annotations, so
+    every transfer of fresh storage surfaces (Section 6). *)
+
+val none : t
+(** All checks off; used for message-count baselines. *)
+
+type flag_error = Unknown_flag of string
+
+val apply : t -> string -> (t, flag_error) result
+(** Apply one flag string: [+name] enables, [-name] (or [no-name])
+    disables, a bare name enables.  A leading [=] is tolerated (cmdliner
+    glue). *)
+
+val apply_all : t -> string list -> (t, flag_error) result
+
+val flag_names : string list
+(** Every recognized flag name. *)

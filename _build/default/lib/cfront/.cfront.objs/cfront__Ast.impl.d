@@ -1,0 +1,1 @@
+lib/cfront/ast.pp.ml: List Loc Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/cfront/diag.pp.ml: Fmt List Loc Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/cfront/diag.pp.mli: Format Loc

@@ -1,0 +1,1 @@
+lib/cfront/lexer.pp.ml: Array Buffer Char Diag Int64 List Loc String Token

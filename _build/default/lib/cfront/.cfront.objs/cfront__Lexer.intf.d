@@ -1,0 +1,1 @@
+lib/cfront/lexer.pp.mli: Token

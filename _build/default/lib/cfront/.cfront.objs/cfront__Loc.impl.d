@@ -1,0 +1,1 @@
+lib/cfront/loc.pp.ml: Fmt Int Ppx_deriving_runtime String

@@ -1,0 +1,1 @@
+lib/cfront/loc.pp.mli: Format

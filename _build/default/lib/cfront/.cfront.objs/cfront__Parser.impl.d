@@ -1,0 +1,1 @@
+lib/cfront/parser.pp.ml: Array Ast Buffer Diag Hashtbl Lexer List Loc Option String Token

@@ -1,0 +1,1 @@
+lib/cfront/parser.pp.mli: Ast Token

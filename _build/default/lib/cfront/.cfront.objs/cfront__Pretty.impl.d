@@ -1,0 +1,1 @@
+lib/cfront/pretty.pp.ml: Ast Buffer Char Fmt List Option Printf String

@@ -1,0 +1,1 @@
+lib/cfront/pretty.pp.mli: Ast Format

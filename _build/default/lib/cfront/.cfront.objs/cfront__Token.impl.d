@@ -1,0 +1,1 @@
+lib/cfront/token.pp.ml: List Loc Ppx_deriving_runtime Printf

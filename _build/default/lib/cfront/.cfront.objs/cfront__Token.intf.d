@@ -1,0 +1,1 @@
+lib/cfront/token.pp.mli: Format Loc

@@ -1,0 +1,218 @@
+(** Abstract syntax for the C subset.
+
+    Layering note: annotations appear here as raw text + location
+    ({!annot}); their interpretation (null / only / temp / ...) lives in the
+    [annot] library so the frontend stays independent of the checker.
+
+    Annotations attach to the *outer level* of declarations (paper,
+    Section 4): a declaration like [/*@null@*/ char **name] constrains the
+    [char **] reference, not [*name].  Accordingly the AST stores annotation
+    lists on declarations, parameters, fields, typedefs and function return
+    values rather than inside types. *)
+
+type annot = { a_text : string; a_loc : Loc.t } [@@deriving eq, show]
+
+type storage = Snone | Sextern | Sstatic | Stypedef | Sauto | Sregister
+[@@deriving eq, show]
+
+type unop =
+  | Uneg  (** -e *)
+  | Unot  (** !e *)
+  | Ubnot  (** ~e *)
+[@@deriving eq, show]
+
+type binop =
+  | Badd | Bsub | Bmul | Bdiv | Bmod
+  | Bshl | Bshr | Bband | Bbor | Bbxor
+  | Blt | Bgt | Ble | Bge | Beq | Bne
+  | Bland | Blor
+[@@deriving eq, show]
+
+(** Compound-assignment carrier: [None] is plain [=], [Some op] is [op=]. *)
+type assignop = binop option [@@deriving eq, show]
+
+type base_type =
+  | Tvoid
+  | Tbool  (** result type of comparisons; also usable via typedef *)
+  | Tchar of signedness
+  | Tshort of signedness
+  | Tint of signedness
+  | Tlong of signedness
+  | Tfloat
+  | Tdouble
+  | Tnamed of string  (** typedef name; resolved by [sema] *)
+  | Tstruct of string option * field list option
+      (** tag, fields if this occurrence defines the struct *)
+  | Tunion of string option * field list option
+  | Tenum of string option * enumerator list option
+
+and signedness = Signed | Unsigned
+
+and ty =
+  | Tbase of base_type
+  | Tptr of ty
+  | Tarray of ty * expr option
+  | Tfunc of funty
+
+and funty = { ft_ret : ty; ft_params : param list; ft_varargs : bool }
+
+and param = {
+  p_name : string option;
+  p_ty : ty;
+  p_annots : annot list;
+  p_loc : Loc.t;
+}
+
+and field = {
+  fld_name : string;
+  fld_ty : ty;
+  fld_annots : annot list;
+  fld_loc : Loc.t;
+}
+
+and enumerator = { en_name : string; en_value : expr option; en_loc : Loc.t }
+
+and expr = { e : expr_desc; eloc : Loc.t }
+
+and expr_desc =
+  | Eint of int64 * string
+  | Echar of char
+  | Estring of string
+  | Efloat of float * string
+  | Eident of string
+  | Ecall of expr * expr list
+  | Emember of expr * string  (** [e.f] *)
+  | Earrow of expr * string  (** [e->f] *)
+  | Eindex of expr * expr
+  | Ederef of expr
+  | Eaddr of expr
+  | Eunary of unop * expr
+  | Epostincr of expr
+  | Epostdecr of expr
+  | Epreincr of expr
+  | Epredecr of expr
+  | Ebinary of binop * expr * expr
+  | Eassign of assignop * expr * expr
+  | Econd of expr * expr * expr
+  | Ecast of ty * expr
+  | Esizeof_expr of expr
+  | Esizeof_type of ty
+  | Ecomma of expr * expr
+[@@deriving eq, show]
+
+type init = Iexpr of expr | Ilist of init list [@@deriving eq, show]
+
+type decl = {
+  d_name : string;
+  d_ty : ty;
+  d_annots : annot list;
+  d_storage : storage;
+  d_init : init option;
+  d_loc : Loc.t;
+}
+[@@deriving eq, show]
+
+(** One entry of a [/*@globals ...@*/] list on a function: the named global
+    with its per-function annotations (e.g. [undef]). *)
+type globspec = { g_name : string; g_annots : annot list; g_loc : Loc.t }
+[@@deriving eq, show]
+
+type fundef = {
+  f_name : string;
+  f_ret : ty;
+  f_ret_annots : annot list;
+  f_params : param list;
+  f_varargs : bool;
+  f_globals : globspec list;
+  f_modifies : string list option;
+      (** [/*@modifies a, b@*/]: the externally visible objects the
+          function may modify; [Some []] is [modifies nothing] *)
+  f_body : stmt;
+  f_storage : storage;
+  f_loc : Loc.t;
+}
+
+and stmt = { s : stmt_desc; sloc : Loc.t }
+
+and stmt_desc =
+  | Sskip
+  | Sexpr of expr
+  | Sdecl of decl list
+  | Sblock of stmt list
+  | Sif of expr * stmt * stmt option
+  | Swhile of expr * stmt
+  | Sdo of stmt * expr
+  | Sfor of stmt option * expr option * expr option * stmt
+      (** init (Sexpr or Sdecl), condition, step, body *)
+  | Sreturn of expr option
+  | Sbreak
+  | Scontinue
+  | Sswitch of expr * stmt
+  | Scase of expr * stmt
+  | Sdefault of stmt
+  | Sgoto of string
+  | Slabel of string * stmt
+  | Sassert of expr  (** [assert(e)] — recognized specially, it refines guards *)
+[@@deriving eq, show]
+
+type topdecl =
+  | Tfundef of fundef
+  | Tdecl of decl list
+      (** variable / extern function declarations; typedefs carry
+          [Stypedef] storage *)
+[@@deriving eq, show]
+
+type tunit = {
+  tu_file : string;
+  tu_decls : topdecl list;
+  tu_pragmas : annot list;
+      (** free-standing annotation comments found at statement or top level:
+          message suppressions ([ignore], [i<code>]) and control comments *)
+}
+[@@deriving eq, show]
+
+(* ------------------------------------------------------------------ *)
+(* Convenience constructors and observers                              *)
+(* ------------------------------------------------------------------ *)
+
+let mk_expr ?(loc = Loc.dummy) e = { e; eloc = loc }
+let mk_stmt ?(loc = Loc.dummy) s = { s; sloc = loc }
+
+let annot ?(loc = Loc.dummy) text = { a_text = text; a_loc = loc }
+
+(** [is_lvalue_shape e] is a purely syntactic test: could [e] denote a
+    storage location?  (The checker refines this with type information.) *)
+let rec is_lvalue_shape e =
+  match e.e with
+  | Eident _ | Ederef _ | Eindex _ | Emember _ | Earrow _ -> true
+  | Ecast (_, e') -> is_lvalue_shape e'
+  | _ -> false
+
+(** Strip casts and comma chains down to the value-producing expression. *)
+let rec skip_casts e =
+  match e.e with
+  | Ecast (_, e') -> skip_casts e'
+  | Ecomma (_, e') -> skip_casts e'
+  | _ -> e
+
+(** Is this expression a null pointer constant?  The literal [0] (possibly
+    cast) or the conventional [NULL] spelling — the frontend has no
+    preprocessor, so [NULL] is recognized as a builtin. *)
+let is_null_constant e =
+  match (skip_casts e).e with
+  | Eint (0L, _) -> true
+  | Eident "NULL" -> true
+  | _ -> false
+
+let ty_is_pointer = function
+  | Tptr _ | Tarray _ -> true
+  | Tbase _ -> false
+  | Tfunc _ -> false
+
+let ty_base = function Tbase b -> Some b | _ -> None
+
+(** Number of pointer levels at the outside of a type (arrays count as one
+    level for the storage model). *)
+let rec pointer_depth = function
+  | Tptr t | Tarray (t, _) -> 1 + pointer_depth t
+  | _ -> 0

@@ -1,0 +1,85 @@
+(** Diagnostics.
+
+    LCLint messages have a two-part shape (paper, Section 4, footnote 3): a
+    primary line explaining the anomaly and where it is detected, followed by
+    indented note lines pointing at contributing program points, e.g.
+
+    {v
+    sample.c:6: Function returns with non-null global gname referencing
+        null storage
+       sample.c:5: Storage gname may become null
+    v}
+
+    This module defines that structure plus a sink for collecting
+    diagnostics during a run. *)
+
+type severity =
+  | Err  (** anomaly that almost certainly indicates a bug *)
+  | Warn  (** anomaly that may be benign *)
+  | Info  (** informational (e.g. parse recovery notes) *)
+[@@deriving eq, ord, show]
+
+(** Indented secondary line attached to a diagnostic. *)
+type note = { nloc : Loc.t; ntext : string } [@@deriving eq, show]
+
+type t = {
+  loc : Loc.t;
+  severity : severity;
+  code : string;
+      (** stable machine-readable identifier, e.g. ["nullret"], ["mustfree"];
+          used by tests, by suppression accounting and by the flag system *)
+  text : string;
+  notes : note list;
+}
+[@@deriving eq, show]
+
+let note ~loc text = { nloc = loc; ntext = text }
+
+let make ?(severity = Err) ?(notes = []) ~loc ~code text =
+  { loc; severity; code; text; notes }
+
+let severity_string = function
+  | Err -> "error"
+  | Warn -> "warning"
+  | Info -> "info"
+
+(** Render one diagnostic in the paper's style. *)
+let pp ppf d =
+  Fmt.pf ppf "%a: %s" Loc.pp d.loc d.text;
+  List.iter (fun n -> Fmt.pf ppf "@\n   %a: %s" Loc.pp n.nloc n.ntext) d.notes
+
+let to_string d = Fmt.str "%a" pp d
+
+(** A collector accumulates diagnostics in source order of emission. *)
+module Collector = struct
+  type diag = t
+
+  type t = { mutable rev : diag list; mutable count : int }
+
+  let create () = { rev = []; count = 0 }
+
+  let emit c d =
+    c.rev <- d :: c.rev;
+    c.count <- c.count + 1
+
+  let all c = List.rev c.rev
+  let count c = c.count
+  let errors c = List.filter (fun d -> d.severity = Err) (all c)
+
+  (** Diagnostics sorted by source position (file, line, col), stable for
+      equal positions. *)
+  let sorted c =
+    List.stable_sort (fun a b -> Loc.compare_pos a.loc b.loc) (all c)
+
+  let by_code c code = List.filter (fun d -> d.code = code) (all c)
+  let clear c =
+    c.rev <- [];
+    c.count <- 0
+end
+
+exception Fatal of t
+(** Raised for unrecoverable conditions (e.g. lexer errors the parser cannot
+    resume from). *)
+
+let fatal ?(notes = []) ~loc ~code fmt =
+  Fmt.kstr (fun text -> raise (Fatal (make ~notes ~loc ~code text))) fmt

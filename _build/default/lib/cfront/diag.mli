@@ -1,0 +1,67 @@
+(** Diagnostics in LCLint's two-part message shape: a primary line plus
+    indented notes pointing at contributing program points (paper,
+    Section 4, footnote 3). *)
+
+type severity = Err | Warn | Info
+
+val equal_severity : severity -> severity -> bool
+val compare_severity : severity -> severity -> int
+val pp_severity : Format.formatter -> severity -> unit
+val show_severity : severity -> string
+
+type note = { nloc : Loc.t; ntext : string }
+
+val equal_note : note -> note -> bool
+val pp_note : Format.formatter -> note -> unit
+val show_note : note -> string
+
+type t = {
+  loc : Loc.t;
+  severity : severity;
+  code : string;
+      (** stable machine-readable identifier (["nullderef"], ["mustfree"],
+          ...) used by tests, suppression accounting and the flag system *)
+  text : string;
+  notes : note list;
+}
+
+val equal : t -> t -> bool
+val show : t -> string
+
+val note : loc:Loc.t -> string -> note
+val make :
+  ?severity:severity -> ?notes:note list -> loc:Loc.t -> code:string ->
+  string -> t
+
+val severity_string : severity -> string
+
+val pp : Format.formatter -> t -> unit
+(** Renders the primary line and its indented notes. *)
+
+val to_string : t -> string
+
+(** Accumulates diagnostics in emission order. *)
+module Collector : sig
+  type diag := t
+  type t
+
+  val create : unit -> t
+  val emit : t -> diag -> unit
+  val all : t -> diag list
+  val count : t -> int
+  val errors : t -> diag list
+
+  val sorted : t -> diag list
+  (** Sorted by source position, stable for equal positions. *)
+
+  val by_code : t -> string -> diag list
+  val clear : t -> unit
+end
+
+exception Fatal of t
+(** Raised for unrecoverable conditions (lexer/parser errors). *)
+
+val fatal :
+  ?notes:note list -> loc:Loc.t -> code:string ->
+  ('a, Format.formatter, unit, 'b) format4 -> 'a
+(** Format a message and raise {!Fatal}. *)

@@ -1,0 +1,1 @@
+lib/check/check.pp.ml: Annot Ast Cfront Checker Diag Fmt Hashtbl Libspec List Loc Parser Sema Sref State Store String Suppress

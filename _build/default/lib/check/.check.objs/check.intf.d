@@ -1,0 +1,1 @@
+lib/check/check.pp.mli: Annot Cfront Checker Libspec Sema Sref State Store Suppress

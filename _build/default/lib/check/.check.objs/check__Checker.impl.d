@@ -1,0 +1,1 @@
+lib/check/checker.pp.ml: Annot Ast Cfront Diag Fmt Hashtbl Int64 List Loc Option Sema Sref State Store String Sys

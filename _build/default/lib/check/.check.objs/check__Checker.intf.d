@@ -1,0 +1,1 @@
+lib/check/checker.pp.mli: Cfront Sema

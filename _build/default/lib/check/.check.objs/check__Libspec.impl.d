@@ -1,0 +1,1 @@
+lib/check/libspec.pp.ml: Annot Buffer Hashtbl List Printf Sema String

@@ -1,0 +1,1 @@
+lib/check/libspec.pp.mli: Annot Sema

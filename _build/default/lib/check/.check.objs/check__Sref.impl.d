@@ -1,0 +1,1 @@
+lib/check/sref.pp.ml: Fmt List Ppx_deriving_runtime Printf Stdlib

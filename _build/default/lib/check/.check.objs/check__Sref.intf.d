@@ -1,0 +1,1 @@
+lib/check/sref.pp.mli: Format Map Set

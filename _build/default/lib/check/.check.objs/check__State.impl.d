@@ -1,0 +1,1 @@
+lib/check/state.pp.ml: Ppx_deriving_runtime

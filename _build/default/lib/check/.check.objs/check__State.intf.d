@@ -1,0 +1,1 @@
+lib/check/state.pp.mli: Format

@@ -1,0 +1,1 @@
+lib/check/store.pp.ml: Cfront Fmt Sref State

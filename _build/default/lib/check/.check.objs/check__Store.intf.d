@@ -1,0 +1,1 @@
+lib/check/store.pp.mli: Cfront Format Sref State

@@ -1,0 +1,1 @@
+lib/check/suppress.pp.ml: Ast Cfront Diag List Loc String

@@ -1,0 +1,1 @@
+lib/check/suppress.pp.mli: Cfront

@@ -1,0 +1,59 @@
+(** Top-level checking API.
+
+    [run ~file src] performs the whole pipeline the paper describes: parse
+    (annotations included), extract interfaces, check every function body
+    against the interface annotations, then apply stylized-comment
+    suppression.  Diagnostics come back in source order. *)
+
+module State = State
+module Sref = Sref
+module Store = Store
+module Checker = Checker
+module Suppress = Suppress
+module Libspec = Libspec
+
+open Cfront
+module Flags = Annot.Flags
+
+type result = {
+  program : Sema.program;
+  reports : Diag.t list;  (** kept diagnostics, in source order *)
+  suppressed : Diag.t list;  (** diagnostics silenced by stylized comments *)
+}
+
+let report_count r = List.length r.reports
+let by_code r code = List.filter (fun (d : Diag.t) -> d.Diag.code = code) r.reports
+
+(** Check a parsed translation unit.  [into] lets callers pre-load
+    interface libraries (see {!Libspec}) so the unit is checked modularly. *)
+let run_tunit ?(flags = Flags.default) ?into (tu : Ast.tunit) : result =
+  let program = Sema.analyze ~flags ?into tu in
+  Checker.check_program program;
+  let table, errs = Suppress.of_pragmas program.Sema.p_pragmas in
+  List.iter (Diag.Collector.emit program.Sema.diags) errs;
+  let all = Diag.Collector.sorted program.Sema.diags in
+  let kept, suppressed = Suppress.filter table all in
+  { program; reports = kept; suppressed }
+
+(** Parse and check a source string. *)
+let run ?(flags = Flags.default) ?into ~file (src : string) : result =
+  let typedefs =
+    match into with
+    | Some p -> Hashtbl.fold (fun k _ acc -> k :: acc) p.Sema.p_typedefs []
+    | None -> []
+  in
+  let tu = Parser.parse_string ~typedefs ~file src in
+  run_tunit ~flags ?into tu
+
+(** Render diagnostics the way LCLint prints them. *)
+let render_reports (r : result) : string =
+  String.concat "\n" (List.map Diag.to_string r.reports)
+
+(** One-line-per-message view (primary lines only), useful in tests. *)
+let summaries (r : result) : string list =
+  List.map
+    (fun (d : Diag.t) -> Fmt.str "%a: %s" Loc.pp d.Diag.loc d.Diag.text)
+    r.reports
+
+let codes (r : result) : string list =
+  List.map (fun (d : Diag.t) -> d.Diag.code) r.reports

@@ -1,0 +1,36 @@
+(** Top-level checking API: parse (annotations included), extract
+    interfaces, check every function body, apply stylized-comment
+    suppression.  Diagnostics come back in source order. *)
+
+module State = State
+module Sref = Sref
+module Store = Store
+module Checker = Checker
+module Suppress = Suppress
+module Libspec = Libspec
+module Flags = Annot.Flags
+
+type result = {
+  program : Sema.program;
+  reports : Cfront.Diag.t list;  (** kept diagnostics, source order *)
+  suppressed : Cfront.Diag.t list;  (** silenced by stylized comments *)
+}
+
+val report_count : result -> int
+val by_code : result -> string -> Cfront.Diag.t list
+
+val run_tunit : ?flags:Flags.t -> ?into:Sema.program -> Cfront.Ast.tunit -> result
+(** Check a parsed translation unit.  [into] pre-loads interface libraries
+    (see {!Libspec}) for modular checking. *)
+
+val run : ?flags:Flags.t -> ?into:Sema.program -> file:string -> string -> result
+(** Parse and check a source string. *)
+
+val render_reports : result -> string
+(** LCLint-style rendering of the kept diagnostics. *)
+
+val summaries : result -> string list
+(** One primary line per message. *)
+
+val codes : result -> string list
+(** The diagnostic codes, in report order. *)

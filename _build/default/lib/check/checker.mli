@@ -1,0 +1,19 @@
+(** The memory checker: per-procedure abstract interpretation driven by
+    interface annotations (paper, Sections 2 and 5).
+
+    Properties reproduced from the paper: each function is checked
+    independently against the annotations of what it calls; loops are
+    analysed as executing zero or one times (no fixpoints); guard
+    refinements track null tests (including [truenull]/[falsenull]);
+    confluence points merge branch states and report irreconcilable ones;
+    parameters are modelled as a local variable aliasing the externally
+    visible reference ([l] vs [argl]).
+
+    Diagnostics accumulate in the program's collector; most callers want
+    the {!Check} facade instead. *)
+
+val check_fundef : Sema.program -> Sema.funsig -> Cfront.Ast.fundef -> unit
+(** Check one function definition against its interface. *)
+
+val check_program : Sema.program -> unit
+(** Check every function defined in the program, in source order. *)

@@ -1,0 +1,24 @@
+(** Interface libraries for modular checking (Section 7: "By using
+    libraries to store interface information, a representative 5000 line
+    module is checked in under 10 seconds").
+
+    A library is a program's externally visible interface — typedefs,
+    struct layouts, globals and function signatures with their annotations
+    — rendered as an annotated C header; loading is just parsing it back
+    into a program environment. *)
+
+val decl_string : string -> Sema.Ctype.t -> string
+(** [decl_string name ty] renders a C declaration of [name] with semantic
+    type [ty] (inside-out declarator syntax). *)
+
+val annots_prefix : Annot.set -> string
+(** The [/*@...@*/] qualifier prefix for an annotation set. *)
+
+val save : Sema.program -> string
+(** Render the public interface (static definitions are omitted). *)
+
+val load :
+  ?flags:Annot.Flags.t -> ?into:Sema.program -> file:string -> string ->
+  Sema.program
+(** Parse a library (produced by {!save} or hand-written) into a fresh or
+    existing program environment. *)

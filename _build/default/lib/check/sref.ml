@@ -1,0 +1,113 @@
+(** Storage references.
+
+    A reference is "a variable or a location derived from a variable (e.g.,
+    a field of a structure)" (paper, Section 3).  The checker tracks
+    dataflow values per reference.  External references — those visible to
+    the caller — are rooted at parameters, globals, the function result, or
+    allocation sites whose storage escapes. *)
+
+type root =
+  | Rlocal of string  (** local variable, or the local copy of a parameter *)
+  | Rparam of int * string
+      (** the externally visible parameter [argi] (paper, Section 5:
+          "we use l to refer to the local variable and argl to refer to the
+          externally visible parameter"); the string is the source name,
+          kept for messages *)
+  | Rglobal of string
+  | Rret  (** the function result *)
+  | Rfresh of int * string
+      (** storage allocated during this function, by site id; the string
+          names the allocating function for messages *)
+  | Rstatic of int  (** a string literal or other static object *)
+[@@deriving eq, ord, show]
+
+type t =
+  | Root of root
+  | Field of t * string  (** [r.f], or [r->f] via [Field (Deref r, f)] *)
+  | Deref of t  (** [*r] *)
+  | Index of t * int option
+      (** [r[i]]: [Some i] for a compile-time-known index, [None] for an
+          unknown index (conflated per the paper's simplifying assumption,
+          Section 2) *)
+[@@deriving eq, ord, show]
+
+let rec root_of = function
+  | Root r -> r
+  | Field (b, _) | Deref b | Index (b, _) -> root_of b
+
+(** The base reference one derivation step up, if any. *)
+let base = function
+  | Root _ -> None
+  | Field (b, _) | Deref b | Index (b, _) -> Some b
+
+let rec depth = function
+  | Root _ -> 0
+  | Field (b, _) | Deref b | Index (b, _) -> 1 + depth b
+
+(** Is [inner] a proper derivation of [outer] (reachable from it)? *)
+let rec derived_from ~outer inner =
+  if equal inner outer then false
+  else
+    match base inner with
+    | None -> false
+    | Some b -> equal b outer || derived_from ~outer b
+
+(** Substitute reference [from_] by [to_] inside [r] (used to map a
+    reference through an alias: if [l] aliases [argl], the alias image of
+    [l->next] is [argl->next]). *)
+let rec subst ~from_ ~to_ r =
+  if equal r from_ then to_
+  else
+    match r with
+    | Root _ -> r
+    | Field (b, f) -> Field (subst ~from_ ~to_ b, f)
+    | Deref b -> Deref (subst ~from_ ~to_ b)
+    | Index (b, i) -> Index (subst ~from_ ~to_ b, i)
+
+(** Does the reference mention the given root? *)
+let rec mentions_root root r =
+  match r with
+  | Root rt -> equal_root rt root
+  | Field (b, _) | Deref b | Index (b, _) -> mentions_root root b
+
+(** Source-like rendering for messages: [Deref p] prints as [*p],
+    [Field (Deref p, f)] as [p->f]. *)
+let rec to_string = function
+  | Root (Rlocal n) -> n
+  | Root (Rparam (_, n)) -> n
+  | Root (Rglobal n) -> n
+  | Root Rret -> "<result>"
+  | Root (Rfresh (_, fn)) -> Printf.sprintf "<fresh storage from %s>" fn
+  | Root (Rstatic _) -> "<static storage>"
+  | Field (Deref b, f) -> Printf.sprintf "(*%s).%s" (to_string b) f
+  | Field (b, f) ->
+      (* pointer member access is normalized to [Field (p, f)], so the
+         arrow form is the accurate rendering in practice *)
+      Printf.sprintf "%s->%s" (to_string b) f
+  | Deref b -> Printf.sprintf "*%s" (to_string b)
+  | Index (b, Some i) -> Printf.sprintf "%s[%d]" (to_string b) i
+  | Index (b, None) -> Printf.sprintf "%s[]" (to_string b)
+
+(** Is this a reference visible in the caller's environment?  Locals are
+    internal; parameters (the [arg] views), globals, result and escaped
+    fresh objects are external. *)
+let is_external r =
+  match root_of r with
+  | Rlocal _ -> false
+  | Rparam _ | Rglobal _ | Rret | Rfresh _ | Rstatic _ -> true
+
+module Ord = struct
+  type nonrec t = t
+
+  let compare = compare
+end
+
+module Set = struct
+  include Stdlib.Set.Make (Ord)
+
+  let pp ppf s =
+    Fmt.pf ppf "{%a}" (Fmt.list ~sep:(Fmt.any ", ") Fmt.string)
+      (List.map to_string (elements s))
+end
+
+module Map = Stdlib.Map.Make (Ord)

@@ -1,0 +1,53 @@
+(** Storage references: "a variable or a location derived from a variable
+    (e.g., a field of a structure)" (paper, Section 3). *)
+
+type root =
+  | Rlocal of string  (** local variable / a parameter's local copy *)
+  | Rparam of int * string  (** the externally visible parameter (argl) *)
+  | Rglobal of string
+  | Rret
+  | Rfresh of int * string  (** allocation site id + allocating function *)
+  | Rstatic of int  (** string literal or other static object *)
+
+type t =
+  | Root of root
+  | Field of t * string  (** pointer member access normalizes here *)
+  | Deref of t
+  | Index of t * int option  (** [None] conflates unknown indexes *)
+
+val equal_root : root -> root -> bool
+val compare_root : root -> root -> int
+val pp_root : Format.formatter -> root -> unit
+val show_root : root -> string
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val pp : Format.formatter -> t -> unit
+val show : t -> string
+
+val root_of : t -> root
+val base : t -> t option
+(** One derivation step up, if any. *)
+
+val depth : t -> int
+
+val derived_from : outer:t -> t -> bool
+(** Is the reference a proper derivation of [outer]? *)
+
+val subst : from_:t -> to_:t -> t -> t
+(** Rewrite occurrences of [from_] inside a reference (alias images). *)
+
+val mentions_root : root -> t -> bool
+
+val to_string : t -> string
+(** Source-like rendering ([p->f], [*p], [a[3]]). *)
+
+val is_external : t -> bool
+(** Visible in the caller's environment (not rooted at a local). *)
+
+module Set : sig
+  include Set.S with type elt = t
+
+  val pp : Format.formatter -> t -> unit
+end
+
+module Map : Map.S with type key = t

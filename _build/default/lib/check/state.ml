@@ -1,0 +1,157 @@
+(** Dataflow values of the storage model (paper, Sections 3 and 5).
+
+    "Three values are associated with each reference: the definition state
+    (defined, partially defined, allocated, etc.), the null state
+    (definitely null, possibly null, not null, etc.), and the allocation
+    state (corresponding to the allocation annotation, e.g., only, temp)." *)
+
+(** Definition state of the storage a reference denotes. *)
+type defstate =
+  | DSundefined  (** storage exists but has not been assigned a value *)
+  | DSallocated
+      (** the reference has a value pointing to allocated storage whose
+          contents are undefined (result of [malloc]) *)
+  | DSpdefined  (** partially defined: some reachable storage undefined *)
+  | DSdefined  (** completely defined *)
+  | DSdead
+      (** dead: released, or obligation transferred; may not be used *)
+  | DSerror  (** error marker set after reporting, to stop cascades *)
+[@@deriving eq, ord, show]
+
+(** Null state of a pointer reference. *)
+type nullstate =
+  | NSnull  (** definitely NULL on this path *)
+  | NSpossnull  (** may be NULL *)
+  | NSnotnull  (** known not NULL *)
+  | NSrel  (** relnull: assumed non-null at uses, assignable from null *)
+  | NSuntracked  (** not a pointer, or nullness not tracked *)
+[@@deriving eq, ord, show]
+
+(** Allocation state: who owns the storage and what the obligations are. *)
+type allocstate =
+  | ASonly  (** sole reference; obliged to release or transfer *)
+  | ASowned  (** owns storage that [ASdependent] references share *)
+  | ASdependent  (** shares storage owned elsewhere; must not release *)
+  | ASshared  (** arbitrarily shared; never released (GC) *)
+  | AStemp  (** temporary: may not be released or newly shared *)
+  | ASkept
+      (** obligation satisfied by a [keep] transfer; still usable *)
+  | ASobserver  (** may not be modified or released *)
+  | ASexposed  (** exposed internal storage: modifiable, not freeable *)
+  | ASrefcounted
+      (** a live reference to reference-counted storage; must be consumed
+          by a [killref] parameter or transferred *)
+  | ASstack  (** automatic storage (address of a local) *)
+  | ASstatic  (** static-duration storage (string literals, statics) *)
+  | ASnone  (** unmanaged / not pointer-valued *)
+  | ASerror  (** error marker after reporting *)
+[@@deriving eq, ord, show]
+
+let defstate_string = function
+  | DSundefined -> "undefined"
+  | DSallocated -> "allocated"
+  | DSpdefined -> "partially defined"
+  | DSdefined -> "defined"
+  | DSdead -> "dead"
+  | DSerror -> "error"
+
+let nullstate_string = function
+  | NSnull -> "null"
+  | NSpossnull -> "possibly null"
+  | NSnotnull -> "non-null"
+  | NSrel -> "relnull"
+  | NSuntracked -> "untracked"
+
+let allocstate_string = function
+  | ASonly -> "only"
+  | ASowned -> "owned"
+  | ASdependent -> "dependent"
+  | ASshared -> "shared"
+  | AStemp -> "temp"
+  | ASkept -> "kept"
+  | ASobserver -> "observer"
+  | ASexposed -> "exposed"
+  | ASrefcounted -> "refcounted"
+  | ASstack -> "stack"
+  | ASstatic -> "static"
+  | ASnone -> "unmanaged"
+  | ASerror -> "error"
+
+(* ------------------------------------------------------------------ *)
+(* Merge rules at confluence points (paper, Section 5)                 *)
+(* ------------------------------------------------------------------ *)
+
+(** "Definition states are combined using the weakest assumption."
+    [DSdead] on one branch only is a confluence anomaly handled separately
+    by the store merge (this function just picks a survivor). *)
+let merge_def a b =
+  if equal_defstate a b then a
+  else
+    let rank = function
+      | DSerror -> -1
+      | DSdead -> 0
+      | DSundefined -> 1
+      | DSallocated -> 2
+      | DSpdefined -> 3
+      | DSdefined -> 4
+    in
+    if rank a < rank b then
+      (* dead/undefined etc. dominate; pdefined vs defined -> pdefined *)
+      match (a, b) with
+      | DSallocated, DSdefined | DSallocated, DSpdefined -> DSpdefined
+      | DSundefined, DSdefined | DSundefined, DSpdefined -> DSpdefined
+      | _ -> a
+    else
+      match (b, a) with
+      | DSallocated, DSdefined | DSallocated, DSpdefined -> DSpdefined
+      | DSundefined, DSdefined | DSundefined, DSpdefined -> DSpdefined
+      | _ -> b
+
+(** Is [dead] vs non-dead — the "deallocated on only one path" anomaly? *)
+let def_conflict a b =
+  (equal_defstate a DSdead) <> (equal_defstate b DSdead)
+  && not (equal_defstate a DSerror)
+  && not (equal_defstate b DSerror)
+
+let merge_null a b =
+  if equal_nullstate a b then a
+  else
+    match (a, b) with
+    | NSuntracked, x | x, NSuntracked -> x
+    | NSrel, x | x, NSrel -> x
+    | NSnull, NSnull -> NSnull
+    | (NSnull | NSpossnull), _ | _, (NSnull | NSpossnull) -> NSpossnull
+    | NSnotnull, NSnotnull -> NSnotnull
+
+(** Allocation states merge only when consistent; inconsistent combinations
+    (e.g. [kept] on one branch, [only] on the other — Fig. 5/6) are
+    confluence anomalies.  Returns [Error (a, b)] in that case. *)
+let merge_alloc a b : (allocstate, allocstate * allocstate) result =
+  if equal_allocstate a b then Ok a
+  else
+    match (a, b) with
+    | ASerror, x | x, ASerror -> Ok x
+    | ASnone, x | x, ASnone -> Ok x
+    (* kept vs keep-like combinations that carry no live obligation *)
+    | ASkept, ASdependent | ASdependent, ASkept -> Ok ASdependent
+    | AStemp, ASdependent | ASdependent, AStemp -> Ok ASdependent
+    | ASstack, ASstatic | ASstatic, ASstack -> Ok ASstatic
+    (* an obligation on one side but not the other: anomaly *)
+    | (ASonly | ASowned), _ | _, (ASonly | ASowned) -> Error (a, b)
+    | _ -> Error (a, b)
+
+(** Does this allocation state carry an obligation to release storage? *)
+let has_obligation = function
+  | ASonly | ASowned | ASrefcounted -> true
+  | _ -> false
+
+(** May storage in this state be passed where an obligation is required
+    (an [only] parameter / assignment / return)? *)
+let can_transfer_obligation = function
+  | ASonly | ASowned | ASrefcounted | ASnone -> true
+  | _ -> false
+
+(** May this storage be released at all (even given an obligation)? *)
+let releasable = function
+  | ASonly | ASowned | ASnone -> true
+  | _ -> false

@@ -1,0 +1,296 @@
+(** The abstract store: dataflow values for every tracked reference.
+
+    Persistent (branches copy it freely), with the merge rules of Section 5
+    at confluence points.  The store is type-free: the checker supplies
+    type-driven behaviour (field enumeration, completion checking) on top.
+
+    Alias tracking follows the paper: each reference carries a may-alias
+    set; updates made through one reference are applied to its *alias
+    images* — e.g. with [l] aliasing [argl], an update of [l->next] also
+    updates [argl->next] ("Since l->next may alias argl->next, the state of
+    argl->next is also allocated, non-null, and only", Section 5). *)
+
+open State
+
+type refstate = {
+  rs_def : defstate;
+  rs_null : nullstate;
+  rs_alloc : allocstate;
+  rs_offset : bool;
+      (** the reference holds an offset (interior) pointer — the result of
+          pointer arithmetic; such storage cannot be released through this
+          reference (Section 3) *)
+  rs_aliases : Sref.Set.t;
+  rs_defloc : Cfront.Loc.t option;  (** where the def state was set *)
+  rs_nullloc : Cfront.Loc.t option;  (** where the null state was set *)
+  rs_allocloc : Cfront.Loc.t option;  (** where the alloc state was set *)
+}
+
+let mk_refstate ?(aliases = Sref.Set.empty) ?(offset = false) ?defloc ?nullloc
+    ?allocloc ~def ~null ~alloc () =
+  {
+    rs_def = def;
+    rs_null = null;
+    rs_alloc = alloc;
+    rs_offset = offset;
+    rs_aliases = aliases;
+    rs_defloc = defloc;
+    rs_nullloc = nullloc;
+    rs_allocloc = allocloc;
+  }
+
+(** Default state for a reference the store knows nothing about:
+    completely defined, untracked nullness, unmanaged. *)
+let unknown_refstate =
+  mk_refstate ~def:DSdefined ~null:NSuntracked ~alloc:ASnone ()
+
+type t = {
+  map : refstate Sref.Map.t;
+  reachable : bool;
+      (** false after a [return] or a call to an [exits] function *)
+}
+
+let empty = { map = Sref.Map.empty; reachable = true }
+let find st r = Sref.Map.find_opt r st.map
+let mem st r = Sref.Map.mem r st.map
+let get st r = match find st r with Some s -> s | None -> unknown_refstate
+let set st r s = { st with map = Sref.Map.add r s st.map }
+let remove st r = { st with map = Sref.Map.remove r st.map }
+let unreachable st = { st with reachable = false }
+let is_reachable st = st.reachable
+let bindings st = Sref.Map.bindings st.map
+
+let update st r f =
+  let s = get st r in
+  set st r (f s)
+
+(* ------------------------------------------------------------------ *)
+(* Aliases                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(** Record that [a] and [b] may denote the same storage (symmetric). *)
+let add_alias st a b =
+  if Sref.equal a b then st
+  else
+    let st = update st a (fun s -> { s with rs_aliases = Sref.Set.add b s.rs_aliases }) in
+    update st b (fun s -> { s with rs_aliases = Sref.Set.add a s.rs_aliases })
+
+let aliases_of st r = (get st r).rs_aliases
+
+(* Aliasing distinguishes two relations:
+
+   - SAME VALUE: [l] and [argl] hold the same pointer (an edge recorded by
+     {!add_alias}).  State changes to the pointed-to OBJECT (releasing it,
+     satisfying its obligation, null knowledge) apply to every same-value
+     name.
+
+   - SAME LOCATION: [l->next] and [argl->next] are the same piece of
+     storage whenever [l] and [argl] hold the same value.  An assignment
+     rewrites a location, so it applies to every same-location name — but
+     NOT to other same-value names of the old contents (assigning to [l]
+     does not change [argl]).
+
+   [value_images] computes the same-value closure: recorded edges, plus
+   same-location renamings (two names for one location necessarily hold
+   the same value).  [location_images] rewrites the base of a derived
+   reference through the base's value images; for a root it is just the
+   root itself. *)
+
+(* The closure is deliberately FLAT (one step through recorded edges):
+   transitive composition would combine facts from different paths into
+   nonsense like "l aliases l->next" after a loop (the paper notes only
+   argl and argl->next are detected as aliases of l).  Chains like
+   q = p; r = q still resolve because each assignment materializes direct
+   edges eagerly using the previous flat closure. *)
+
+(** Names denoting the same storage location as [r]: rewrite each base
+    segment through the values it may share. *)
+let rec location_images st r : Sref.Set.t =
+  let rewrite b mk =
+    Sref.Set.fold
+      (fun b' acc -> Sref.Set.add (mk b') acc)
+      (value_images_at st b) Sref.Set.empty
+  in
+  match r with
+  | Sref.Root _ -> Sref.Set.singleton r
+  | Sref.Field (b, f) -> rewrite b (fun b' -> Sref.Field (b', f))
+  | Sref.Deref b -> rewrite b (fun b' -> Sref.Deref b')
+  | Sref.Index (b, i) -> rewrite b (fun b' -> Sref.Index (b', i))
+
+(** Locations that may hold the same pointer value as [r]: [r]'s location
+    names plus their recorded direct edges. *)
+and value_images_at st r : Sref.Set.t =
+  let locs = location_images st r in
+  Sref.Set.fold
+    (fun l acc -> Sref.Set.union (aliases_of st l) acc)
+    locs locs
+
+let value_images = value_images_at
+
+(** Backwards-compatible name: the same-value closure. *)
+let alias_images = value_images
+
+(** Apply [f] to [r] and every same-value name (object-state updates). *)
+let update_images st r f =
+  Sref.Set.fold (fun r' st -> update st r' f) (value_images st r) st
+
+let set_def ?loc st r d =
+  update_images st r (fun s -> { s with rs_def = d; rs_defloc = loc })
+
+let set_null ?loc st r n =
+  update_images st r (fun s -> { s with rs_null = n; rs_nullloc = loc })
+
+(** Null-state refinement from a guard.  Applied to the tested reference
+    and its same-value names: a test on [l] also tells us about [argl]
+    (the paper's point 3 — "at point 3 we know that l is null" — feeds the
+    exit check of the externally visible parameter).  This is a
+    likely-case assumption for genuinely may-valued aliases, in the
+    paper's spirit (Section 2). *)
+let refine_null ?loc st r n =
+  update_images st r (fun s -> { s with rs_null = n; rs_nullloc = loc })
+
+let set_alloc ?loc st r a =
+  update_images st r (fun s -> { s with rs_alloc = a; rs_allocloc = loc })
+
+(** Drop every binding whose reference involves [root] (scope exit), and
+    remove dangling alias edges pointing into the dropped set. *)
+let drop_root st root =
+  let keep, dropped =
+    Sref.Map.partition (fun r _ -> not (Sref.mentions_root root r)) st.map
+  in
+  let dropped_refs =
+    Sref.Map.fold (fun r _ acc -> Sref.Set.add r acc) dropped Sref.Set.empty
+  in
+  let keep =
+    Sref.Map.map
+      (fun s -> { s with rs_aliases = Sref.Set.diff s.rs_aliases dropped_refs })
+      keep
+  in
+  { st with map = keep }
+
+(** References rooted at [root] currently tracked. *)
+let refs_with_root st root =
+  Sref.Map.fold
+    (fun r s acc -> if Sref.mentions_root root r then (r, s) :: acc else acc)
+    st.map []
+
+(* ------------------------------------------------------------------ *)
+(* Confluence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(** A conflict discovered while merging two branches. *)
+type conflict =
+  | Cdef of Sref.t * refstate * refstate
+      (** dead on one path, live on the other *)
+  | Calloc of Sref.t * refstate * refstate
+      (** irreconcilable allocation states (e.g. kept vs only) *)
+
+(** Derive the implicit definition state of an untracked reference from
+    its nearest tracked ancestor: children of [allocated] storage are
+    undefined; children of [defined] storage are defined.  When the
+    ancestor is definitely NULL the reference does not exist on this path
+    at all, so the other branch's state [other] stands (the paper keeps
+    [argl->next->next] undefined at point 10 of Fig. 6 although the false
+    branch never reaches it). *)
+let derived_def st r ~(other : defstate) : defstate =
+  let rec nearest r =
+    match Sref.base r with
+    | None -> None
+    | Some b -> ( match find st b with Some s -> Some s | None -> nearest b)
+  in
+  match nearest r with
+  | Some { rs_null = NSnull; _ } -> other
+  | Some { rs_def = DSallocated; _ } -> DSundefined
+  | Some { rs_def = DSundefined; _ } -> DSundefined
+  | Some { rs_def = DSdead; _ } -> DSdead
+  | _ -> DSdefined
+
+(** Merge two stores at a confluence point.  [on_conflict] is called for
+    each anomaly; the merged state for a conflicting reference is the error
+    marker, so one anomaly does not cascade. *)
+let merge ~(on_conflict : conflict -> unit) (a : t) (b : t) : t =
+  match (a.reachable, b.reachable) with
+  | false, false -> { a with reachable = false }
+  | false, true -> b
+  | true, false -> a
+  | true, true ->
+      let merge_one r (sa : refstate option) (sb : refstate option) :
+          refstate option =
+        let other_def = function
+          | Some (x : refstate) -> x.rs_def
+          | None -> DSdefined
+        in
+        let fill st s other = function
+          | Some x -> x
+          | None ->
+              { unknown_refstate with rs_def = derived_def st s ~other }
+        in
+        let xa = fill a r (other_def sb) sa
+        and xb = fill b r (other_def sa) sb in
+        (* A dead-on-one-path merge is consistent when the live path
+           carries no release obligation either: the pointer is NULL
+           (freeing null is a no-op) or its obligation was satisfied
+           (kept).  The guarded-free idiom [if (p != NULL) free(p);] and
+           transfer-or-release patterns rely on this. *)
+        let relaxed (x : refstate) =
+          equal_nullstate x.rs_null NSnull
+          || equal_allocstate x.rs_alloc ASkept
+        in
+        let dead_ok =
+          (equal_defstate xa.rs_def DSdead && relaxed xb)
+          || (equal_defstate xb.rs_def DSdead && relaxed xa)
+        in
+        let def =
+          if def_conflict xa.rs_def xb.rs_def && not dead_ok then (
+            on_conflict (Cdef (r, xa, xb));
+            DSerror)
+          else merge_def xa.rs_def xb.rs_def
+        in
+        let alloc =
+          (* once the storage is dead on some path (or was reported), the
+             allocation-state combination carries no new information *)
+          if
+            equal_defstate xa.rs_def DSdead
+            || equal_defstate xb.rs_def DSdead
+            || equal_defstate def DSerror
+          then
+            if equal_defstate xa.rs_def DSdead then xb.rs_alloc
+            else xa.rs_alloc
+          else
+            match merge_alloc xa.rs_alloc xb.rs_alloc with
+            | Ok al -> al
+            | Error _ ->
+                on_conflict (Calloc (r, xa, xb));
+                ASerror
+        in
+        Some
+          {
+            rs_def = def;
+            rs_null = merge_null xa.rs_null xb.rs_null;
+            rs_alloc = alloc;
+            rs_offset = xa.rs_offset || xb.rs_offset;
+            rs_aliases = Sref.Set.union xa.rs_aliases xb.rs_aliases;
+            rs_defloc = (if xa.rs_defloc <> None then xa.rs_defloc else xb.rs_defloc);
+            rs_nullloc =
+              (if equal_nullstate xa.rs_null xb.rs_null then xa.rs_nullloc
+               else if
+                 equal_nullstate (merge_null xa.rs_null xb.rs_null) xa.rs_null
+               then xa.rs_nullloc
+               else xb.rs_nullloc);
+            rs_allocloc =
+              (if xa.rs_allocloc <> None then xa.rs_allocloc else xb.rs_allocloc);
+          }
+      in
+      let map = Sref.Map.merge merge_one a.map b.map in
+      { map; reachable = true }
+
+let pp ppf st =
+  Sref.Map.iter
+    (fun r s ->
+      Fmt.pf ppf "%-30s def=%s null=%s alloc=%s%s@\n" (Sref.to_string r)
+        (defstate_string s.rs_def)
+        (nullstate_string s.rs_null)
+        (allocstate_string s.rs_alloc)
+        (if Sref.Set.is_empty s.rs_aliases then ""
+         else Fmt.str " aliases=%a" Sref.Set.pp s.rs_aliases))
+    st.map

@@ -1,0 +1,1 @@
+lib/corpus/employee_db.ml: Annot Cfront Check Hashtbl List Printf Sema Stdspec Str String

@@ -1,0 +1,1 @@
+lib/corpus/employee_db.mli: Annot Check

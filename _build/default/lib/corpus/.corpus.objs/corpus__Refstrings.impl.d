@@ -1,0 +1,1 @@
+lib/corpus/refstrings.ml: Annot Check Rtcheck Stdspec

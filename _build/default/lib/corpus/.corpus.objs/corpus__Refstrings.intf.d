@@ -1,0 +1,1 @@
+lib/corpus/refstrings.mli: Annot Check Rtcheck

@@ -1,0 +1,129 @@
+(** The paper's figures as source text, used by tests and benches.
+
+    Figure numbers follow the paper:
+    - Fig. 1: [sample.c] with no annotations
+    - Fig. 2: [sample.c] with a [null] annotation on the parameter
+    - Fig. 3: the fix calling a [truenull] function
+    - Fig. 4: [sample.c] with inconsistent [only]/[temp] annotations
+    - Fig. 5: the buggy [list_addh] implementation (with Fig. 6 its
+      control-flow walk, reproduced by the checker's analysis) *)
+
+let fig1_sample = {|extern char *gname;
+
+void setName(char *pname)
+{
+  gname = pname;
+}
+|}
+
+let fig2_sample_null = {|extern char *gname;
+
+void setName(/*@null@*/ char *pname)
+{
+  gname = pname;
+}
+|}
+
+let fig3_sample_fixed = {|extern char *gname;
+extern /*@truenull@*/ int isNull(/*@null@*/ char *x);
+
+void setName(/*@null@*/ char *pname)
+{
+  if (!isNull(pname)) {
+    gname = pname;
+  }
+}
+|}
+
+let fig4_sample_only_temp = {|extern /*@only@*/ char *gname;
+
+void setName(/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+|}
+
+let fig5_list_addh = {|typedef /*@null@*/ struct _list {
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc(sizeof(*l->next));
+    l->next->this = e;
+  }
+}
+|}
+
+(** A corrected [list_addh]: handles the null list and defines every field
+    of the new node (what the paper's two anomalies ask for). *)
+let fig5_list_addh_fixed = {|typedef /*@null@*/ struct _list {
+  /*@only@*/ char *this;
+  /*@null@*/ /*@only@*/ struct _list *next;
+} *list;
+
+extern /*@out@*/ /*@only@*/ void *smalloc(size_t);
+
+void list_addh(/*@temp@*/ list l, /*@only@*/ char *e)
+{
+  if (l != NULL)
+  {
+    while (l->next != NULL)
+    {
+      l = l->next;
+    }
+    l->next = (list) smalloc(sizeof(*l->next));
+    l->next->this = e;
+    l->next->next = NULL;
+  }
+  else
+  {
+    free(e);
+  }
+}
+|}
+
+(** Figure 7's [erc_create], standalone. *)
+let fig7_erc_create = {|typedef struct _elem { int val; struct _elem *next; } ercElem;
+typedef struct { /*@null@*/ ercElem *vals; int size; } *erc;
+extern void error(char *s);
+
+/*@only@*/ erc erc_create(void)
+{
+  erc c = (erc) malloc(sizeof(*c));
+
+  if (c == NULL) {
+    error("malloc returned null");
+    exit(EXIT_FAILURE);
+  }
+
+  c->vals = NULL;
+  c->size = 0;
+  return c;
+}
+|}
+
+(** Figure 8's [employee_setName] (with its struct), standalone. *)
+let fig8_employee_setname = {|typedef struct {
+  int ssNum;
+  char name[20];
+} employee;
+
+int employee_setName(employee *e, char *s)
+{
+  if (strlen(s) > (size_t) 19) {
+    return FALSE;
+  }
+  strcpy(e->name, s);
+  return TRUE;
+}
+|}

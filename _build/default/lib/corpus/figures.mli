@@ -1,0 +1,25 @@
+(** The paper's figures as source text (numbers follow the paper). *)
+
+val fig1_sample : string
+(** Figure 1: [sample.c] with no annotations. *)
+
+val fig2_sample_null : string
+(** Figure 2: [sample.c] with a [null] annotation on the parameter. *)
+
+val fig3_sample_fixed : string
+(** Figure 3: the fix calling a [truenull] function. *)
+
+val fig4_sample_only_temp : string
+(** Figure 4: [sample.c] with inconsistent [only]/[temp] annotations. *)
+
+val fig5_list_addh : string
+(** Figure 5: the buggy [list_addh] (Figure 6 is its analysis walk). *)
+
+val fig5_list_addh_fixed : string
+(** A corrected [list_addh] addressing both anomalies. *)
+
+val fig7_erc_create : string
+(** Figure 7's [erc_create], standalone. *)
+
+val fig8_employee_setname : string
+(** Figure 8's [employee_setName], standalone. *)

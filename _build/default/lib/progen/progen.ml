@@ -1,0 +1,350 @@
+(** Synthetic C program generation.
+
+    Section 7 evaluates LCLint on its own 100k-line sources, which we do
+    not have; this generator produces programs with the same structural
+    mix — abstract types with create/destroy/accessor/worker functions,
+    annotated interfaces, cross-module call chains, a driver — at any
+    requested size, plus controlled *bug seeding* for the
+    static-vs-run-time detection experiments.
+
+    Everything is deterministic in [seed]. *)
+
+type rng = { mutable s : int }
+
+let mk_rng seed = { s = (seed * 2654435761) land 0x3FFFFFFF }
+
+let next r =
+  r.s <- ((r.s * 1103515245) + 12345) land 0x3FFFFFFF;
+  r.s
+
+let rand_int r n = if n <= 0 then 0 else next r mod n
+
+(** The bug classes used in the detection matrix (Section 7's residual-bug
+    discussion plus the classes both tools aim at). *)
+type bug_kind =
+  | Bleak  (** storage never released (reassignment or drop) *)
+  | Buse_after_free
+  | Bdouble_free
+  | Bnull_deref  (** missing null check on a malloc result *)
+  | Buse_undef  (** read of an uninitialized field *)
+  | Bfree_offset  (** free of an interior pointer (static misses by default) *)
+  | Bfree_static  (** free of static storage (static misses by default) *)
+  | Bglobal_leak
+      (** storage reachable from a global, never freed before exit
+          (static cannot see this; run-time leak checkers can) *)
+
+let all_bug_kinds =
+  [
+    Bleak; Buse_after_free; Bdouble_free; Bnull_deref; Buse_undef;
+    Bfree_offset; Bfree_static; Bglobal_leak;
+  ]
+
+let bug_kind_string = function
+  | Bleak -> "leak"
+  | Buse_after_free -> "use-after-free"
+  | Bdouble_free -> "double-free"
+  | Bnull_deref -> "null-deref"
+  | Buse_undef -> "use-undef"
+  | Bfree_offset -> "free-offset"
+  | Bfree_static -> "free-static"
+  | Bglobal_leak -> "global-leak"
+
+(** One seeded bug: which function carries it, and whether the generated
+    driver actually exercises that function (run-time tools only see
+    executed bugs). *)
+type seeded = {
+  sb_kind : bug_kind;
+  sb_module : int;
+  sb_fn : string;  (** the carrier function's name *)
+  sb_executed : bool;
+}
+
+type program = {
+  files : (string * string) list;  (** (name, text) in dependency order *)
+  seeded : seeded list;
+  loc : int;  (** total source lines *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Module body generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+let buf_add = Buffer.add_string
+
+(** Emit one module: a record type, an annotated create/destroy pair,
+    accessors, and small worker functions.  When [annotated] is false the
+    memory annotations are omitted (the "starting program" of the paper's
+    iteration).  [bug] optionally seeds one bug into a dedicated carrier
+    function. *)
+let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
+    ~(bug : bug_kind option) : string * string list =
+  let b = Buffer.create 4096 in
+  let m = Printf.sprintf "m%d" index in
+  let an s = if annotated then s ^ " " else "" in
+  let pf fmt = Printf.ksprintf (buf_add b) fmt in
+  pf "/* module %s -- generated */\n\n" m;
+  pf "typedef struct _%s_rec {\n" m;
+  pf "  int id;\n";
+  pf "  int weight;\n";
+  pf "  %schar *label;\n" (an "/*@null@*/ /*@only@*/");
+  pf "  char tag[8];\n";
+  pf "} %s_rec;\n\n" m;
+  (* create *)
+  pf "%s%s_rec *%s_create(int id)\n{\n" (an "/*@only@*/") m m;
+  pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+  pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+  pf "  r->id = id;\n";
+  pf "  r->weight = id * 3 + 1;\n";
+  pf "  r->label = NULL;\n";
+  pf "  r->tag[0] = '\\0';\n";
+  pf "  return r;\n}\n\n";
+  (* set label *)
+  pf "void %s_set_label(%s_rec *r, char *text)\n{\n" m m;
+  pf "  if (r->label != NULL) {\n    free(r->label);\n  }\n";
+  pf "  r->label = strdup(text);\n";
+  pf "}\n\n";
+  (* destroy *)
+  pf "void %s_destroy(%s%s_rec *r)\n{\n" m (an "/*@only@*/") m;
+  pf "  if (r->label != NULL) {\n    free(r->label);\n  }\n";
+  pf "  free(r);\n}\n\n";
+  (* accessors *)
+  pf "int %s_weight(%s_rec *r)\n{\n  return r->weight;\n}\n\n" m m;
+  pf "void %s_bump(%s_rec *r, int by)\n{\n" m m;
+  pf "  r->weight = r->weight + by;\n}\n\n";
+  (* worker functions with loops/branches to give the checker real work *)
+  for k = 0 to max 0 (fns - 1) do
+    let choice = rand_int rng 3 in
+    match choice with
+    | 0 ->
+        pf "int %s_work%d(int n)\n{\n" m k;
+        pf "  int acc;\n  int i;\n  acc = 0;\n";
+        pf "  for (i = 0; i < n; i++) {\n";
+        pf "    if (i %% %d == 0) {\n      acc = acc + i;\n    } else {\n      acc = acc - 1;\n    }\n"
+          (2 + rand_int rng 5);
+        pf "  }\n  return acc;\n}\n\n"
+    | 1 ->
+        pf "int %s_scan%d(char *s)\n{\n" m k;
+        pf "  int count;\n  count = 0;\n";
+        pf "  while (*s != '\\0') {\n";
+        pf "    if (*s == '%c') {\n      count = count + 1;\n    }\n"
+          (Char.chr (Char.code 'a' + rand_int rng 26));
+        pf "    s = s + 1;\n  }\n  return count;\n}\n\n"
+    | _ ->
+        pf "%s%s_rec *%s_clone%d(%s_rec *r)\n{\n" (an "/*@only@*/") m m k m;
+        pf "  %s_rec *c = %s_create(r->id);\n" m m;
+        pf "  c->weight = r->weight;\n";
+        pf "  if (r->label != NULL) {\n";
+        pf "    %s_set_label(c, r->label);\n" m;
+        pf "  }\n  return c;\n}\n\n"
+  done;
+  (* optional archetype sections: a linked list and a string buffer,
+     mirroring the data-structure mix of real C programs (and of the
+     paper's employee database) *)
+  if fns > 2 then begin
+    pf "typedef struct _%s_node {\n" m;
+    pf "  int value;\n";
+    pf "  %sstruct _%s_node *next;\n" (an "/*@null@*/ /*@only@*/") m;
+    pf "} %s_node;\n\n" m;
+    pf "%s%s_node *%s_push(%s%s_node *head, int value)\n{\n"
+      (an "/*@null@*/ /*@only@*/") m m
+      (an "/*@null@*/ /*@only@*/") m;
+    pf "  %s_node *n = (%s_node *) malloc(sizeof(%s_node));\n" m m m;
+    pf "  if (n == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+    pf "  n->value = value;\n";
+    pf "  n->next = head;\n";
+    pf "  return n;\n}\n\n";
+    pf "int %s_sum(%s%s_node *head)\n{\n" m (an "/*@null@*/") m;
+    pf "  int total;\n  %s_node *p;\n  total = 0;\n" m;
+    pf "  p = head;\n";
+    pf "  while (p != NULL) {\n";
+    pf "    total = total + p->value;\n";
+    pf "    p = p->next;\n";
+    pf "  }\n  return total;\n}\n\n";
+    (* ownership-consuming recursive destructor: the idiom the checker
+       (like LCLint) can bless -- each next field is transferred to the
+       recursive call before the node itself is released *)
+    pf "void %s_drop(%s%s_node *head)\n{\n" m (an "/*@null@*/ /*@only@*/") m;
+    pf "  if (head != NULL) {\n";
+    pf "    if (head->next != NULL) {\n";
+    pf "      %s_drop(head->next);\n" m;
+    pf "    }\n";
+    pf "    free(head);\n";
+    pf "  }\n}\n\n"
+  end;
+  if fns > 4 then begin
+    pf "%schar *%s_describe(%s_rec *r)\n{\n" (an "/*@only@*/") m m;
+    pf "  char *buf = (char *) malloc(64);\n";
+    pf "  if (buf == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+    pf "  sprintf(buf, \"rec %%d w=%%d\", r->id, r->weight);\n";
+    pf "  return buf;\n}\n\n";
+    pf "int %s_same_label(%s_rec *a, char *text)\n{\n" m m;
+    pf "  if (a->label == NULL) {\n    return FALSE;\n  }\n";
+    pf "  return strcmp(a->label, text) == 0;\n}\n\n"
+  end;
+  (* seeded bug carrier *)
+  let carriers = ref [] in
+  (match bug with
+  | None -> ()
+  | Some kind ->
+      let fn = Printf.sprintf "%s_buggy" m in
+      carriers := [ fn ];
+      (match kind with
+      | Bleak ->
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = %s_create(1);\n" m m;
+          pf "  %s_rec *s = %s_create(2);\n" m m;
+          pf "  r = s;\n" (* the first record is lost *);
+          pf "  %s_destroy(r);\n}\n\n" m
+      | Buse_after_free ->
+          pf "int %s(void)\n{\n" fn;
+          pf "  %s_rec *r = %s_create(3);\n" m m;
+          pf "  %s_destroy(r);\n" m;
+          pf "  return r->weight;\n}\n\n"
+      | Bdouble_free ->
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = %s_create(4);\n" m m;
+          pf "  free(r);\n";
+          pf "  free(r);\n}\n\n"
+      | Bnull_deref ->
+          pf "int %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  r->id = 9;\n" (* no null check: malloc may return NULL *);
+          pf "  free(r);\n  return 0;\n}\n\n"
+      | Buse_undef ->
+          pf "int %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  int w;\n";
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  w = r->weight;\n" (* weight never initialized *);
+          pf "  free(r);\n";
+          pf "  if (w > 10) {\n    return 1;\n  }\n";
+          pf "  return 0;\n}\n\n"
+      | Bfree_offset ->
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *p = (char *) malloc(16);\n";
+          pf "  if (p == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  p = p + 4;\n";
+          pf "  free(p);\n}\n\n"
+      | Bfree_static ->
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *p = \"static text\";\n";
+          pf "  free(p);\n}\n\n"
+      | Bglobal_leak ->
+          pf "static %s%s_rec *%s_cache;\n\n" (an "/*@null@*/ /*@only@*/") m m;
+          pf "void %s(void)\n{\n" fn;
+          pf "  if (%s_cache != NULL) {\n    %s_destroy(%s_cache);\n  }\n" m m m;
+          pf "  %s_cache = %s_create(7);\n" m m;
+          pf "}\n\n" (* never freed before exit; reachable from a global *)));
+  (Buffer.contents b, !carriers)
+
+(* ------------------------------------------------------------------ *)
+(* Whole programs                                                      *)
+(* ------------------------------------------------------------------ *)
+
+(** Generate a program.
+
+    - [modules]: number of modules;
+    - [fns_per_module]: worker functions per module (size lever);
+    - [annotated]: include the memory annotations;
+    - [bugs]: bug kinds to seed, assigned to modules round-robin;
+    - [coverage]: fraction (0..1) of seeded-bug carriers the driver calls
+      — run-time checking sees only what runs. *)
+let generate ?(seed = 42) ?(modules = 4) ?(fns_per_module = 6)
+    ?(annotated = true) ?(bugs = []) ?(coverage = 1.0) () : program =
+  let rng = mk_rng seed in
+  let nbugs = List.length bugs in
+  let seeded = ref [] in
+  let files = ref [] in
+  for i = 0 to modules - 1 do
+    let bug = List.nth_opt bugs i in
+    let text, carriers =
+      gen_module ~annotated ~rng ~index:i ~fns:fns_per_module ~bug
+    in
+    files := (Printf.sprintf "m%d.c" i, text) :: !files;
+    List.iter
+      (fun fn ->
+        match bug with
+        | Some kind ->
+            seeded :=
+              { sb_kind = kind; sb_module = i; sb_fn = fn; sb_executed = false }
+              :: !seeded
+        | None -> ())
+      carriers
+  done;
+  ignore nbugs;
+  (* the driver: exercise the clean API everywhere, and a [coverage]
+     fraction of the bug carriers *)
+  let b = Buffer.create 2048 in
+  let pf fmt = Printf.ksprintf (buf_add b) fmt in
+  pf "/* driver -- generated */\n\nint main(void)\n{\n";
+  pf "  int total;\n  total = 0;\n";
+  for i = 0 to modules - 1 do
+    let m = Printf.sprintf "m%d" i in
+    pf "  {\n";
+    pf "    %s_rec *r = %s_create(%d);\n" m m i;
+    pf "    %s_set_label(r, \"item\");\n" m;
+    pf "    %s_bump(r, %d);\n" m (1 + rand_int rng 9);
+    pf "    total = total + %s_weight(r);\n" m;
+    if fns_per_module > 4 then begin
+      pf "    {\n      char *d = %s_describe(r);\n" m;
+      pf "      printf(\"%%s\\n\", d);\n";
+      pf "      free(d);\n    }\n"
+    end;
+    pf "    %s_destroy(r);\n" m;
+    pf "  }\n";
+    if fns_per_module > 2 then begin
+      pf "  {\n    %s_node *head = NULL;\n" m;
+      pf "    head = %s_push(head, 1);\n" m;
+      pf "    head = %s_push(head, 2);\n" m;
+      pf "    total = total + %s_sum(head);\n" m;
+      pf "    %s_drop(head);\n  }\n" m
+    end
+  done;
+  let n_seeded = List.length !seeded in
+  let n_exec = int_of_float (ceil (coverage *. float_of_int n_seeded)) in
+  let seeded_exec =
+    List.mapi (fun idx sb -> { sb with sb_executed = idx < n_exec }) !seeded
+  in
+  List.iter
+    (fun sb -> if sb.sb_executed then pf "  %s();\n" sb.sb_fn)
+    seeded_exec;
+  pf "  printf(\"total %%d\\n\", total);\n";
+  pf "  return 0;\n}\n";
+  let files = List.rev !files @ [ ("driver.c", Buffer.contents b) ] in
+  let loc =
+    List.fold_left
+      (fun acc (_, text) ->
+        acc + List.length (String.split_on_char '\n' text))
+      0 files
+  in
+  { files; seeded = seeded_exec; loc }
+
+(** Analyse a generated program into a fresh stdlib environment. *)
+let analyse ?(flags = Annot.Flags.default) (p : program) : Sema.program =
+  let prog = Stdspec.environment ~flags () in
+  List.iter
+    (fun (name, text) ->
+      let typedefs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+      in
+      let tu = Cfront.Parser.parse_string ~typedefs ~file:name text in
+      ignore (Sema.analyze ~flags ~into:prog tu))
+    p.files;
+  prog
+
+(** Statically check a generated program; returns the kept reports. *)
+let static_check ?(flags = Annot.Flags.default) (p : program) :
+    Check.result =
+  let prog = analyse ~flags p in
+  Check.Checker.check_program prog;
+  let table, errs = Check.Suppress.of_pragmas prog.Sema.p_pragmas in
+  List.iter (Cfront.Diag.Collector.emit prog.Sema.diags) errs;
+  let all = Cfront.Diag.Collector.sorted prog.Sema.diags in
+  let kept, suppressed = Check.Suppress.filter table all in
+  { Check.program = prog; reports = kept; suppressed }
+
+(** Run a generated program under the run-time checker. *)
+let dynamic_check ?(flags = Annot.Flags.default) (p : program) :
+    Rtcheck.result =
+  let prog = analyse ~flags p in
+  Rtcheck.run prog

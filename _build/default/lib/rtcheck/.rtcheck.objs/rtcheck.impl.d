@@ -1,0 +1,1 @@
+lib/rtcheck/rtcheck.pp.ml: Annot Array Ast Buffer Cfront Fmt Hashtbl Heap Int64 Interp Layout List Loc Parser Printf Sema

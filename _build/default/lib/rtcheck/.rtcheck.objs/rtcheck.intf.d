@@ -1,0 +1,1 @@
+lib/rtcheck/rtcheck.pp.mli: Annot Cfront Format Heap Interp Layout Sema

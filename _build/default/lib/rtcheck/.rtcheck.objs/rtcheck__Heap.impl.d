@@ -1,0 +1,1 @@
+lib/rtcheck/heap.pp.ml: Array Cfront Fmt Hashtbl List Loc Ppx_deriving_runtime

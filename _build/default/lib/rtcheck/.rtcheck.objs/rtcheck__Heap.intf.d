@@ -1,0 +1,1 @@
+lib/rtcheck/heap.pp.mli: Cfront Format Hashtbl

@@ -1,0 +1,1 @@
+lib/rtcheck/interp.pp.ml: Array Ast Buffer Cfront Char Fmt Hashtbl Heap Int64 Layout List Loc Option Sema String

@@ -1,0 +1,1 @@
+lib/rtcheck/interp.pp.mli: Buffer Cfront Hashtbl Heap Sema

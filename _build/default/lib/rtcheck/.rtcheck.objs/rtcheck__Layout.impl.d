@@ -1,0 +1,1 @@
+lib/rtcheck/layout.pp.ml: Hashtbl List Option Sema

@@ -1,0 +1,48 @@
+(** The C-subset interpreter over the instrumented heap.
+
+    Strict by design: every memory access goes through {!Heap}, so null
+    dereferences, uses of undefined values, dangling accesses and bad
+    frees are detected on the executed path — and only there, the paper's
+    central observation about run-time tools.
+
+    Most callers should use {!Rtcheck.run}; this interface exists for the
+    facade and for tests that drive execution directly. *)
+
+exception Return of Heap.slot
+exception Break_exc
+exception Continue_exc
+exception Exit_program of int
+
+exception Abort of string
+(** Execution cannot continue (step/error limit, unsupported construct
+    such as [goto] or struct-by-value calls). *)
+
+type frame = {
+  mutable vars : (string * (Heap.ptr * Sema.Ctype.t)) list;
+  frame_depth : int;
+}
+
+type state = {
+  prog : Sema.program;
+  heap : Heap.t;
+  globals : (string, Heap.ptr * Sema.Ctype.t) Hashtbl.t;
+  fundefs : (string, Sema.funsig * Cfront.Ast.fundef) Hashtbl.t;
+  literals : (string, Heap.ptr) Hashtbl.t;
+  output : Buffer.t;
+  mutable frames : frame list;
+  mutable steps : int;
+  max_steps : int;
+  max_errors : int;
+  mutable rng : int;
+}
+
+val eval : state -> Cfront.Ast.expr -> Heap.slot
+val exec : state -> Cfront.Ast.stmt -> unit
+
+val call_fundef :
+  state -> Sema.funsig -> Cfront.Ast.fundef ->
+  (Heap.slot * Sema.Ctype.t) list -> loc:Cfront.Loc.t -> Heap.slot
+(** Call a defined function with evaluated arguments. *)
+
+val type_of_expr : state -> Cfront.Ast.expr -> Sema.Ctype.t
+(** Static type of an expression (drives [sizeof] and pointer scaling). *)

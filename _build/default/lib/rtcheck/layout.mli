@@ -1,0 +1,10 @@
+(** Object layout at slot granularity: every scalar occupies one slot and
+    [sizeof] in interpreted programs returns slot counts, so allocation
+    sizes written as [n * sizeof(T)] work out exactly. *)
+
+val size_of : Sema.program -> Sema.Ctype.t -> int
+(** Slots occupied by a value of the type. *)
+
+val field_offset :
+  Sema.program -> Sema.Ctype.t -> string -> (int * Sema.Ctype.t) option
+(** Slot offset and type of a field within a struct/union type. *)

@@ -1,0 +1,157 @@
+(** Run-time memory checking: the dynamic baseline the paper compares
+    against (dmalloc, mprof, Purify — Section 1).
+
+    [run] interprets a program on the instrumented heap and produces the
+    errors observed *on the executed path*, plus an end-of-run leak report.
+    Tests and benches use this to reproduce the paper's claims about the
+    complementary strengths of static and run-time checking. *)
+
+module Layout = Layout
+module Heap = Heap
+module Interp = Interp
+
+open Cfront
+module Ctype = Sema.Ctype
+
+type result = {
+  errors : Heap.error list;  (** in detection order *)
+  leaks : Heap.leak list;  (** live heap blocks at exit *)
+  output : string;  (** collected stdout *)
+  exit_code : int option;  (** [None] when the run was aborted *)
+  aborted : string option;  (** abort reason, if any *)
+  steps : int;
+  heap_allocs : int;
+  heap_frees : int;
+  profile : (Cfront.Loc.t * Heap.site_stats) list;
+      (** mprof-style per-site allocation statistics, heaviest first *)
+}
+
+(** Interpret [prog] starting from [entry] (default ["main"]).
+    [max_steps] bounds execution so looping programs terminate. *)
+let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
+    (prog : Sema.program) : result =
+  let heap = Heap.create () in
+  let st =
+    {
+      Interp.prog;
+      heap;
+      globals = Hashtbl.create 32;
+      fundefs = Hashtbl.create 64;
+      literals = Hashtbl.create 64;
+      output = Buffer.create 256;
+      frames = [];
+      steps = 0;
+      max_steps;
+      max_errors;
+      rng = 1;
+    }
+  in
+  (* function definitions *)
+  List.iter
+    (fun ((fs : Sema.funsig), def) ->
+      Hashtbl.replace st.Interp.fundefs fs.Sema.fs_name (fs, def))
+    (Sema.fundefs prog);
+  (* global storage, zero-initialized per C semantics *)
+  Hashtbl.iter
+    (fun name (gv : Sema.globalvar) ->
+      if gv.Sema.gv_defined || not (Ctype.is_function gv.Sema.gv_ty) then begin
+        let size = Layout.size_of prog gv.Sema.gv_ty in
+        let p =
+          Heap.alloc heap ~kind:(Heap.Kglobal name) ~size ~loc:gv.Sema.gv_loc
+        in
+        (match Heap.find heap p.Heap.p_block with
+        | Some b ->
+            let zero =
+              if Ctype.is_pointer gv.Sema.gv_ty then Heap.Snull
+              else Heap.Sint 0L
+            in
+            Array.fill b.Heap.b_slots 0 (Array.length b.Heap.b_slots) zero
+        | None -> ());
+        Hashtbl.replace st.Interp.globals name (p, gv.Sema.gv_ty)
+      end)
+    prog.Sema.p_globals;
+  let exit_code, aborted =
+    match Hashtbl.find_opt st.Interp.fundefs entry with
+    | None -> (None, Some (Printf.sprintf "no %s function" entry))
+    | Some (fs, def) -> (
+        try
+          let v =
+            Interp.call_fundef st fs def [] ~loc:def.Ast.f_loc
+          in
+          match v with
+          | Heap.Sint n -> (Some (Int64.to_int n), None)
+          | _ -> (Some 0, None)
+        with
+        | Interp.Exit_program n -> (Some n, None)
+        | Interp.Abort reason -> (None, Some reason))
+  in
+  (* leak detection: roots are the pointers still stored in globals *)
+  let roots =
+    Hashtbl.fold
+      (fun _ (p, _) acc ->
+        match Heap.find heap p.Heap.p_block with
+        | Some b ->
+            Array.fold_left
+              (fun acc slot ->
+                match slot with Heap.Sptr q -> q :: acc | _ -> acc)
+              acc b.Heap.b_slots
+        | None -> acc)
+      st.Interp.globals []
+  in
+  {
+    errors = Heap.errors heap;
+    leaks = Heap.leaks heap ~roots;
+    output = Buffer.contents st.Interp.output;
+    exit_code;
+    aborted;
+    steps = st.Interp.steps;
+    heap_allocs = heap.Heap.heap_allocs;
+    heap_frees = heap.Heap.heap_frees;
+    profile = Heap.profile_rows heap;
+  }
+
+(** Parse, analyse and run a single source string against the standard
+    library environment provided by the caller. *)
+let run_source ?(flags = Annot.Flags.default) ?entry ?max_steps ?max_errors
+    ~(stdlib_env : unit -> Sema.program) ~file (src : string) : result =
+  let prog = stdlib_env () in
+  let typedefs =
+    Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+  in
+  let tu = Parser.parse_string ~typedefs ~file src in
+  ignore (Sema.analyze ~flags ~into:prog tu);
+  run ?entry ?max_steps ?max_errors prog
+
+(** Render a result summary (used by the CLI and examples). *)
+let pp_summary ppf (r : result) =
+  Fmt.pf ppf "exit: %s, steps: %d, allocs: %d, frees: %d@\n"
+    (match (r.exit_code, r.aborted) with
+    | Some n, _ -> string_of_int n
+    | None, Some why -> "aborted (" ^ why ^ ")"
+    | None, None -> "?")
+    r.steps r.heap_allocs r.heap_frees;
+  List.iter
+    (fun (e : Heap.error) ->
+      Fmt.pf ppf "%s: [%s] %s@\n" (Loc.to_string e.Heap.e_loc)
+        (Heap.error_kind_string e.Heap.e_kind)
+        e.Heap.e_msg)
+    r.errors;
+  List.iter
+    (fun (l : Heap.leak) ->
+      Fmt.pf ppf "leak: block of %d slots allocated at %s%s@\n"
+        l.Heap.lk_block.Heap.b_size
+        (Loc.to_string l.Heap.lk_block.Heap.b_alloc_site)
+        (if l.Heap.lk_reachable then " (still reachable from globals)" else ""))
+    r.leaks
+
+
+(** Render the allocation profile (the mprof role in the paper's
+    comparison: where does the memory go?). *)
+let pp_profile ppf (r : result) =
+  Fmt.pf ppf "%-30s %8s %8s %10s@\n" "allocation site" "allocs" "frees"
+    "slots";
+  List.iter
+    (fun ((loc : Loc.t), (st : Heap.site_stats)) ->
+      Fmt.pf ppf "%-30s %8d %8d %10d@\n" (Loc.to_string loc)
+        st.Heap.st_allocs st.Heap.st_frees st.Heap.st_slots)
+    r.profile

@@ -1,0 +1,36 @@
+(** Run-time memory checking — the dynamic baseline of the paper's
+    comparison (dmalloc, mprof, Purify; Section 1).
+
+    [run] interprets a program on the instrumented heap and reports the
+    errors observed on the executed path, an end-of-run leak report with
+    global-reachability marking, and an mprof-style allocation profile. *)
+
+module Layout = Layout
+module Heap = Heap
+module Interp = Interp
+
+type result = {
+  errors : Heap.error list;  (** detection order *)
+  leaks : Heap.leak list;  (** live heap blocks at exit *)
+  output : string;  (** collected stdout *)
+  exit_code : int option;  (** [None] when the run was aborted *)
+  aborted : string option;
+  steps : int;
+  heap_allocs : int;
+  heap_frees : int;
+  profile : (Cfront.Loc.t * Heap.site_stats) list;  (** heaviest first *)
+}
+
+val run :
+  ?entry:string -> ?max_steps:int -> ?max_errors:int -> Sema.program -> result
+(** Interpret [prog] from [entry] (default ["main"]); [max_steps] bounds
+    execution so looping programs terminate. *)
+
+val run_source :
+  ?flags:Annot.Flags.t -> ?entry:string -> ?max_steps:int -> ?max_errors:int ->
+  stdlib_env:(unit -> Sema.program) -> file:string -> string -> result
+(** Parse, analyse and run one source string in the given library
+    environment. *)
+
+val pp_summary : Format.formatter -> result -> unit
+val pp_profile : Format.formatter -> result -> unit

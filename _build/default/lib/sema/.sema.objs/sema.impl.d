@@ -1,0 +1,1 @@
+lib/sema/sema.pp.ml: Annot Ast Cfront Char Ctype Diag Fmt Hashtbl Int64 List Loc Map Option Parser Ppx_deriving_runtime Printf String

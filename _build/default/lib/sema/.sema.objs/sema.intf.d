@@ -1,0 +1,1 @@
+lib/sema/sema.pp.mli: Annot Cfront Ctype Format Hashtbl

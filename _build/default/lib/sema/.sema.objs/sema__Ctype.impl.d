@@ -1,0 +1,1 @@
+lib/sema/ctype.pp.ml: List Ppx_deriving_runtime Printf String

@@ -1,0 +1,1 @@
+lib/sema/ctype.pp.mli: Format

@@ -1,0 +1,137 @@
+(** Semantic analysis: symbol resolution and interface extraction.
+
+    Turns parsed translation units into a {!program}: resolved types,
+    struct layouts, typedef annotations, globals, and one {!funsig} per
+    function — the interface whose annotations drive all checking (paper,
+    Section 2).  Implicit annotations are applied here per {!Flags.t} and
+    marked, so the checker can word messages the way the paper does
+    ("Implicitly temp storage c passed as only param"). *)
+
+module Ctype = Ctype
+module Flags = Annot.Flags
+
+(** Annotation set plus provenance of its allocation member. *)
+type eannot = { an : Annot.set; alloc_implicit : bool }
+
+val pp_eannot : Format.formatter -> eannot -> unit
+val show_eannot : eannot -> string
+
+val explicit : Annot.set -> eannot
+
+type field = {
+  sf_name : string;
+  sf_ty : Ctype.t;
+  sf_annots : eannot;
+  sf_loc : Cfront.Loc.t;
+}
+
+type suinfo = {
+  su_tag : string;
+  su_union : bool;
+  su_fields : field list;
+  su_loc : Cfront.Loc.t;
+}
+
+type param = {
+  pr_name : string;
+  pr_ty : Ctype.t;
+  pr_annots : eannot;
+  pr_loc : Cfront.Loc.t;
+}
+
+type funsig = {
+  fs_name : string;
+  fs_ret : Ctype.t;
+  fs_ret_annots : eannot;
+  fs_params : param list;
+  fs_varargs : bool;
+  fs_globals : (string * Annot.set) list;
+  fs_modifies : string list option;
+      (** [Some []] is "modifies nothing"; [None] is unconstrained *)
+  fs_defined : bool;
+  fs_static : bool;
+  fs_loc : Cfront.Loc.t;
+}
+
+type globalvar = {
+  gv_name : string;
+  gv_ty : Ctype.t;
+  gv_annots : eannot;
+  gv_static : bool;
+  gv_defined : bool;
+  gv_loc : Cfront.Loc.t;
+}
+
+val pp_field : Format.formatter -> field -> unit
+val show_field : field -> string
+val pp_suinfo : Format.formatter -> suinfo -> unit
+val show_suinfo : suinfo -> string
+val pp_param : Format.formatter -> param -> unit
+val show_param : param -> string
+val pp_funsig : Format.formatter -> funsig -> unit
+val show_funsig : funsig -> string
+val pp_globalvar : Format.formatter -> globalvar -> unit
+val show_globalvar : globalvar -> string
+
+(** The analysed program: symbol tables shared by the checker, the
+    interpreter and the interface-library writer.  Multiple translation
+    units may be analysed into one program (see {!analyze}). *)
+type program = {
+  p_file : string;
+  p_structs : (string, suinfo) Hashtbl.t;
+  p_typedefs : (string, Ctype.t * Annot.set) Hashtbl.t;
+  p_enum_consts : (string, int64) Hashtbl.t;
+  p_funcs : (string, funsig) Hashtbl.t;
+  p_globals : (string, globalvar) Hashtbl.t;
+  mutable p_fundefs_rev : (funsig * Cfront.Ast.fundef) list;
+  mutable p_struct_order_rev : string list;
+  mutable p_typedef_order_rev : string list;
+  mutable p_global_order_rev : string list;
+  mutable p_func_order_rev : string list;
+  mutable p_pragmas : Cfront.Ast.annot list;
+  diags : Cfront.Diag.Collector.t;
+  flags : Flags.t;
+  mutable anon_counter : int;
+}
+
+val create_program : ?flags:Flags.t -> file:string -> unit -> program
+
+val typedef_annots : program -> Ctype.t -> Annot.set
+(** Annotations inherited from the typedef layers of a type. *)
+
+val const_eval : program -> Cfront.Ast.expr -> int64 option
+(** Compile-time constant evaluation (array sizes, enum values). *)
+
+val resolve_ty : program -> loc:Cfront.Loc.t -> Cfront.Ast.ty -> Ctype.t
+(** Resolve an AST type, registering any struct/union/enum definitions it
+    contains. *)
+
+val find_field : program -> string -> string -> field option
+val fields_of : program -> Ctype.t -> field list
+
+val process_decl : program -> Cfront.Ast.decl -> unit
+(** Register one declaration (used by the checker for block-level
+    typedef/extern declarations). *)
+
+val analyze :
+  ?flags:Flags.t -> ?into:program -> Cfront.Ast.tunit -> program
+(** Analyse a translation unit, extending [into] if given (multi-file
+    checking shares one environment, as LCLint does with interface
+    libraries). *)
+
+val analyze_string :
+  ?flags:Flags.t -> ?spec_mode:bool -> ?into:program -> file:string ->
+  string -> program
+
+val analyze_spec_string :
+  ?flags:Flags.t -> ?into:program -> file:string -> string -> program
+(** LCL notation: bare-word annotations, as in the paper's standard-library
+    excerpts. *)
+
+(** Source-order views of the accumulators. *)
+
+val fundefs : program -> (funsig * Cfront.Ast.fundef) list
+val struct_order : program -> string list
+val typedef_order : program -> string list
+val global_order : program -> string list
+val func_order : program -> string list

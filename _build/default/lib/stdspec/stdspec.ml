@@ -1,0 +1,136 @@
+(** The annotated C standard library.
+
+    The paper's Section 4 gives the key specifications:
+
+    {v
+    null out only void *malloc (size_t size);
+    void free (null out only void *ptr);
+    char *strcpy (out returned unique char *s1, char *s2);
+    v}
+
+    "There is nothing special about malloc and free — their behavior can be
+    described entirely in terms of the provided annotations."
+
+    This module carries those specifications (and the rest of the library
+    the corpus needs) as an annotated header, loaded into a program
+    environment before user code is analysed. *)
+
+let size_t_decl = "typedef unsigned long size_t;\n"
+
+(** The library source, parsed by the normal frontend. *)
+let source =
+  size_t_decl
+  ^ {|
+/* --- common constants (no preprocessor: defined as enumerators) --- */
+enum { FALSE = 0, TRUE = 1, EXIT_SUCCESS = 0, EXIT_FAILURE = 1, EOF = -1 };
+
+/* --- memory management (paper, Section 4) --- */
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
+extern /*@null@*/ /*@only@*/ void *calloc(size_t nmemb, size_t size);
+extern /*@null@*/ /*@only@*/ void *realloc(/*@null@*/ /*@only@*/ void *ptr, size_t size);
+extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
+
+/* --- program termination --- */
+extern /*@exits@*/ void exit(int status);
+extern /*@exits@*/ void abort(void);
+
+/* --- string functions --- */
+extern char *strcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2);
+extern char *strncpy(/*@out@*/ /*@returned@*/ /*@unique@*/ char *s1, char *s2, size_t n);
+extern char *strcat(/*@returned@*/ /*@unique@*/ char *s1, char *s2);
+extern char *strncat(/*@returned@*/ /*@unique@*/ char *s1, char *s2, size_t n);
+extern int strcmp(char *s1, char *s2);
+extern int strncmp(char *s1, char *s2, size_t n);
+extern size_t strlen(char *s);
+extern /*@null@*/ /*@exposed@*/ char *strchr(/*@returned@*/ char *s, int c);
+extern /*@null@*/ /*@exposed@*/ char *strrchr(/*@returned@*/ char *s, int c);
+extern /*@null@*/ /*@exposed@*/ char *strstr(/*@returned@*/ char *haystack, char *needle);
+extern /*@null@*/ /*@only@*/ char *strdup(char *s);
+
+/* --- memory block functions --- */
+extern void *memcpy(/*@out@*/ /*@returned@*/ /*@unique@*/ void *dest, void *src, size_t n);
+extern void *memmove(/*@out@*/ /*@returned@*/ void *dest, void *src, size_t n);
+extern void *memset(/*@out@*/ /*@returned@*/ void *s, int c, size_t n);
+extern int memcmp(void *s1, void *s2, size_t n);
+
+/* --- stdio (a FILE is an abstract shared object) --- */
+struct _iobuf { int _dummy; };
+typedef struct _iobuf FILE;
+extern /*@dependent@*/ FILE *stdin;
+extern /*@dependent@*/ FILE *stdout;
+extern /*@dependent@*/ FILE *stderr;
+extern int printf(char *format, ...);
+extern int fprintf(/*@temp@*/ FILE *stream, char *format, ...);
+extern int sprintf(/*@out@*/ /*@unique@*/ char *str, char *format, ...);
+extern int puts(char *s);
+extern int putchar(int c);
+extern int getchar(void);
+extern /*@null@*/ /*@dependent@*/ FILE *fopen(char *path, char *mode);
+extern int fclose(/*@only@*/ FILE *stream);
+extern int fgetc(/*@temp@*/ FILE *stream);
+extern /*@null@*/ char *fgets(/*@out@*/ /*@returned@*/ char *s, int size, /*@temp@*/ FILE *stream);
+extern int fputs(char *s, /*@temp@*/ FILE *stream);
+extern size_t fread(/*@out@*/ void *ptr, size_t size, size_t nmemb, /*@temp@*/ FILE *stream);
+extern size_t fwrite(void *ptr, size_t size, size_t nmemb, /*@temp@*/ FILE *stream);
+
+/* --- stdlib misc --- */
+extern int atoi(char *nptr);
+extern long atol(char *nptr);
+extern double atof(char *nptr);
+extern int abs(int j);
+extern int rand(void);
+extern void srand(unsigned int seed);
+extern /*@null@*/ /*@observer@*/ char *getenv(char *name);
+
+/* --- assert --- */
+extern void assert(int expression);
+|}
+
+(** A program environment pre-loaded with the standard library.
+    [flags] control implicit-annotation interpretation of *user* code; the
+    library itself is fully annotated so flags do not change its meaning
+    (its unannotated pointer returns, e.g. [strcpy], rely on [returned]).
+
+    Library declarations are tagged with file ["<stdlib>"]. *)
+let environment ?(flags = Annot.Flags.default) () : Sema.program =
+  let prog = Sema.create_program ~flags ~file:"<stdlib>" () in
+  ignore (Sema.analyze_string ~flags ~into:prog ~file:"<stdlib>" source);
+  (* the standard library must itself be annotation-clean *)
+  prog
+
+(** Check a source string against the standard library (the common entry
+    point used by the examples, tests and the CLI). *)
+let check ?(flags = Annot.Flags.default) ~file src : Check.result =
+  let prog = environment ~flags () in
+  Check.run ~flags ~into:prog ~file src
+
+(* ------------------------------------------------------------------ *)
+(* The same library in LCL specification notation                      *)
+(* ------------------------------------------------------------------ *)
+
+(** The core of {!source} in the paper's LCL notation: annotations as bare
+    words.  Parsing this with {!Cfront.Parser.parse_spec_string} yields the
+    same interfaces as the comment form (checked by the test suite). *)
+let lcl_core = {|
+typedef unsigned long size_t;
+
+null out only void *malloc(size_t size);
+null only void *calloc(size_t nmemb, size_t size);
+null only void *realloc(null only void *ptr, size_t size);
+void free(null out only void *ptr);
+
+exits void exit(int status);
+exits void abort(void);
+
+char *strcpy(out returned unique char *s1, char *s2);
+char *strcat(returned unique char *s1, char *s2);
+int strcmp(char *s1, char *s2);
+size_t strlen(char *s);
+null only char *strdup(char *s);
+|}
+
+(** A program environment built from {!lcl_core} (spec-mode parsing). *)
+let lcl_environment ?(flags = Annot.Flags.default) () : Sema.program =
+  let prog = Sema.create_program ~flags ~file:"<stdlib.lcl>" () in
+  ignore (Sema.analyze_spec_string ~flags ~into:prog ~file:"<stdlib.lcl>" lcl_core);
+  prog

@@ -1,0 +1,28 @@
+(** The annotated C standard library (paper, Section 4):
+
+    {v
+    null out only void *malloc (size_t size);
+    void free (null out only void *ptr);
+    char *strcpy (out returned unique char *s1, char *s2);
+    v}
+
+    "There is nothing special about malloc and free — their behavior can
+    be described entirely in terms of the provided annotations." *)
+
+val source : string
+(** The library as annotated C (comment-form annotations). *)
+
+val environment : ?flags:Annot.Flags.t -> unit -> Sema.program
+(** A program environment pre-loaded with the standard library. *)
+
+val check : ?flags:Annot.Flags.t -> file:string -> string -> Check.result
+(** Parse and check a source string against the standard library — the
+    common entry point for examples, tests and the CLI. *)
+
+val lcl_core : string
+(** The core of {!source} in the paper's LCL notation (bare-word
+    annotations); parses with {!Cfront.Parser.parse_spec_string} to the
+    same interfaces. *)
+
+val lcl_environment : ?flags:Annot.Flags.t -> unit -> Sema.program
+(** A program environment built from {!lcl_core}. *)

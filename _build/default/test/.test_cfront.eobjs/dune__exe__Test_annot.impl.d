@@ -1,0 +1,1 @@
+test/test_annot.ml: Alcotest Annot Cfront List Option QCheck QCheck_alcotest String

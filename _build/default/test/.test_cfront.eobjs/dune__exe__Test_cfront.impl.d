@@ -1,0 +1,1 @@
+test/test_cfront.ml: Alcotest Ast Cfront Corpus Diag Fmt Int64 Lexer List Loc Parser Pretty Printf Progen QCheck QCheck_alcotest Token

@@ -1,0 +1,1 @@
+test/test_check.ml: Alcotest Annot Cfront Check Corpus Hashtbl List Sema Stdspec String

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest Annot Cfront Check Corpus List Rtcheck String

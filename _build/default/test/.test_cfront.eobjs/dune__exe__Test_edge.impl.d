@@ -1,0 +1,1 @@
+test/test_edge.ml: Alcotest Annot Check List Rtcheck Stdspec

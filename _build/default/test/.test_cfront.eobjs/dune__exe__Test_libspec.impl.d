@@ -1,0 +1,1 @@
+test/test_libspec.ml: Alcotest Annot Cfront Check Hashtbl List Sema Stdspec String

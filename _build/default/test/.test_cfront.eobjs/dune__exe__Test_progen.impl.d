@@ -1,0 +1,1 @@
+test/test_progen.ml: Alcotest Annot Check List Progen QCheck QCheck_alcotest Rtcheck

@@ -1,0 +1,1 @@
+test/test_robustness.ml: Alcotest Annot Cfront Check List Progen QCheck QCheck_alcotest Rtcheck String

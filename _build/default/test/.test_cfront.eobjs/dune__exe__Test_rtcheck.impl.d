@@ -1,0 +1,1 @@
+test/test_rtcheck.ml: Alcotest Cfront Corpus Hashtbl List Progen QCheck QCheck_alcotest Rtcheck Sema Stdspec String

@@ -1,0 +1,1 @@
+test/test_sema.ml: Alcotest Annot Cfront Hashtbl Int64 List Printf QCheck QCheck_alcotest Random Sema

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Cfront Check Gen List Printf QCheck QCheck_alcotest

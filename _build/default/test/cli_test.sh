@@ -1,0 +1,178 @@
+#!/usr/bin/env bash
+# End-to-end tests of the command-line tools.  Invoked by dune with the
+# built executables as arguments; any failed assertion aborts the run.
+set -u
+
+OLCLINT="$1"
+OLCRUN="$2"
+tmp="$(mktemp -d)"
+trap 'rm -rf "$tmp"' EXIT
+
+fail() {
+  echo "CLI TEST FAILED: $1" >&2
+  exit 1
+}
+
+expect_contains() { # haystack-file needle description
+  grep -qF "$2" "$1" || { cat "$1" >&2; fail "$3"; }
+}
+
+# --- Figure 4 through the CLI -------------------------------------------
+cat > "$tmp/sample.c" <<'EOF'
+extern /*@only@*/ char *gname;
+
+void setName(/*@temp@*/ char *pname)
+{
+  gname = pname;
+}
+EOF
+
+"$OLCLINT" "$tmp/sample.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "olclint should exit 1 on anomalies"
+expect_contains "$tmp/out" "Only storage gname not released before assignment" "fig4 leak message"
+expect_contains "$tmp/out" "Temp storage pname assigned to only storage gname" "fig4 transfer message"
+expect_contains "$tmp/out" "2 code warnings" "fig4 summary"
+
+# --- clean file exits 0 ---------------------------------------------------
+cat > "$tmp/clean.c" <<'EOF'
+int add(int a, int b)
+{
+  return a + b;
+}
+EOF
+"$OLCLINT" "$tmp/clean.c" > "$tmp/out" 2>&1 || fail "clean file should exit 0"
+expect_contains "$tmp/out" "0 code warnings" "clean summary"
+
+# --- flags ---------------------------------------------------------------
+cat > "$tmp/ret.c" <<'EOF'
+char *mk(void)
+{
+  char *p = (char *) malloc(4);
+  if (p == NULL) { exit(1); }
+  p[0] = 'a';
+  return p;
+}
+EOF
+"$OLCLINT" "$tmp/ret.c" > "$tmp/out" 2>&1 || fail "implicit only return should be clean"
+"$OLCLINT" -f=-allimponly "$tmp/ret.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "-allimponly should surface the return transfer"
+expect_contains "$tmp/out" "Fresh storage p returned as unqualified result" "allimponly message"
+
+"$OLCLINT" -f=-bogus "$tmp/clean.c" > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "unknown flag should exit 2"
+
+# --- interface library round trip -----------------------------------------
+cat > "$tmp/lib.c" <<'EOF'
+typedef struct _node { int v; /*@null@*/ /*@only@*/ struct _node *next; } node;
+
+/*@only@*/ node *node_create(int v)
+{
+  node *n = (node *) malloc(sizeof(node));
+  if (n == NULL) { exit(1); }
+  n->v = v;
+  n->next = NULL;
+  return n;
+}
+
+void node_destroy(/*@only@*/ node *n)
+{
+  if (n->next != NULL) { node_destroy(n->next); }
+  free(n);
+}
+EOF
+"$OLCLINT" -q --dump-lib "$tmp/lib.lh" "$tmp/lib.c" > /dev/null 2>&1 || fail "library dump should be clean"
+grep -q "node_create" "$tmp/lib.lh" || fail "library should contain node_create"
+
+cat > "$tmp/client.c" <<'EOF'
+int main(void)
+{
+  node *a = node_create(1);
+  node *b = node_create(2);
+  a = b;
+  node_destroy(a);
+  return 0;
+}
+EOF
+"$OLCLINT" --load-lib "$tmp/lib.lh" "$tmp/client.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "client leak should be found through the library"
+expect_contains "$tmp/out" "Only storage a not released before assignment" "modular leak message"
+
+# --- LCL specifications ---------------------------------------------------
+cat > "$tmp/spec.lcl" <<'EOF'
+typedef struct _tok { int kind; } token;
+only token *token_create(int kind);
+void token_free(only token *t);
+EOF
+cat > "$tmp/use.c" <<'EOF'
+int main(void)
+{
+  token *t = token_create(1);
+  int k = t->kind;
+  token_free(t);
+  return k;
+}
+EOF
+"$OLCLINT" --lcl "$tmp/spec.lcl" -f=-allimponly "$tmp/use.c" > "$tmp/out" 2>&1 \
+  || fail "spec-checked client should be clean"
+
+# --- olcrun ---------------------------------------------------------------
+cat > "$tmp/buggy.c" <<'EOF'
+int main(void)
+{
+  char *p = (char *) malloc(8);
+  if (p == NULL) { return 1; }
+  p[0] = 'x';
+  free(p);
+  p[1] = 'y';
+  return 0;
+}
+EOF
+"$OLCRUN" "$tmp/buggy.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "olcrun should exit 1 on run-time errors"
+expect_contains "$tmp/out" "use-after-free" "uaf detection"
+
+cat > "$tmp/hello.c" <<'EOF'
+int main(void)
+{
+  printf("hello %d\n", 6 * 7);
+  return 0;
+}
+EOF
+"$OLCRUN" --show-output "$tmp/hello.c" > "$tmp/out" 2>&1 || fail "hello should run clean"
+expect_contains "$tmp/out" "hello 42" "program output"
+
+# --- parse errors exit 2 ---------------------------------------------------
+cat > "$tmp/bad.c" <<'EOF'
+int f( {
+EOF
+"$OLCLINT" "$tmp/bad.c" > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "parse error should exit 2"
+
+# --- allocation profile ----------------------------------------------------
+cat > "$tmp/prof.c" <<'CEOF'
+int main(void)
+{
+  char *p = (char *) malloc(16);
+  if (p == NULL) { return 1; }
+  free(p);
+  return 0;
+}
+CEOF
+"$OLCRUN" --profile "$tmp/prof.c" > "$tmp/out" 2>&1 || fail "profile run should be clean"
+expect_contains "$tmp/out" "allocation site" "profile header"
+
+# --- modifies clauses -------------------------------------------------------
+cat > "$tmp/mod.c" <<'CEOF'
+int g1;
+int g2;
+void touch(void) /*@globals g1; g2@*/ /*@modifies g1@*/
+{
+  g1 = 1;
+  g2 = 2;
+}
+CEOF
+"$OLCLINT" "$tmp/mod.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "modifies violation should exit 1"
+expect_contains "$tmp/out" "Undocumented modification of g2" "modifies message"
+
+echo "cli tests passed"

@@ -1,0 +1,726 @@
+(* Checker behaviour tests: one case per anomaly class and per
+   paper-described behaviour, plus the figures with their exact messages. *)
+
+module Flags = Annot.Flags
+
+let paper_flags = Flags.(allimponly_off default)
+
+let check ?(flags = paper_flags) src = Stdspec.check ~flags ~file:"t.c" src
+
+let codes r = Check.codes r
+
+let check_codes ?flags name expected src =
+  let r = check ?flags src in
+  Alcotest.(check (list string)) name expected (codes r)
+
+let has_code r code = List.mem code (codes r)
+
+let first_message r =
+  match r.Check.reports with
+  | d :: _ -> d.Cfront.Diag.text
+  | [] -> Alcotest.fail "expected at least one report"
+
+(* ------------------------------------------------------------------ *)
+(* The paper's figures, with their exact messages                      *)
+(* ------------------------------------------------------------------ *)
+
+let test_fig1_unannotated_clean () =
+  check_codes "fig1" [] Corpus.Figures.fig1_sample
+
+let test_fig2_message () =
+  let r = check Corpus.Figures.fig2_sample_null in
+  Alcotest.(check (list string)) "codes" [ "globnull" ] (codes r);
+  Alcotest.(check string) "message"
+    "Function returns with non-null global gname referencing null storage"
+    (first_message r);
+  (* the indented note points at the assignment, as in the paper *)
+  match r.Check.reports with
+  | [ d ] -> (
+      match d.Cfront.Diag.notes with
+      | [ n ] ->
+          Alcotest.(check string) "note"
+            "Storage gname may become null" n.Cfront.Diag.ntext;
+          Alcotest.(check int) "note line" 5 n.Cfront.Diag.nloc.Cfront.Loc.line
+      | _ -> Alcotest.fail "expected one note")
+  | _ -> Alcotest.fail "expected one report"
+
+let test_fig3_fixed () = check_codes "fig3" [] Corpus.Figures.fig3_sample_fixed
+
+let test_fig4_messages () =
+  let r = check Corpus.Figures.fig4_sample_only_temp in
+  Alcotest.(check (list string)) "codes" [ "mustfree"; "onlytrans" ] (codes r);
+  match r.Check.reports with
+  | [ leak; trans ] ->
+      Alcotest.(check string) "leak"
+        "Only storage gname not released before assignment"
+        leak.Cfront.Diag.text;
+      Alcotest.(check string) "transfer"
+        "Temp storage pname assigned to only storage gname"
+        trans.Cfront.Diag.text
+  | _ -> Alcotest.fail "expected two reports"
+
+(* tiny substring helper *)
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let test_fig5_messages () =
+  let r = check Corpus.Figures.fig5_list_addh in
+  (* the two anomalies of Section 5: the kept/only confluence error on e,
+     and the incomplete definition reachable from the parameter *)
+  Alcotest.(check (list string)) "codes" [ "compdef"; "branchstate" ] (codes r);
+  Alcotest.(check bool) "confluence mentions kept and only" true
+    (List.exists
+       (fun (d : Cfront.Diag.t) ->
+         d.Cfront.Diag.code = "branchstate"
+         && contains d.Cfront.Diag.text "kept"
+         && contains d.Cfront.Diag.text "only")
+       r.Check.reports)
+
+let test_fig5_fixed () =
+  check_codes "fig5 fixed" [] Corpus.Figures.fig5_list_addh_fixed
+
+let test_fig7_erc_create () = check_codes "fig7" [] Corpus.Figures.fig7_erc_create
+
+let test_fig8_strcpy_unique () =
+  let r = check Corpus.Figures.fig8_employee_setname in
+  Alcotest.(check (list string)) "codes" [ "aliasunique" ] (codes r);
+  Alcotest.(check string) "message"
+    "Parameter 1 (e->name) to function strcpy is declared unique but may be \
+     aliased externally by parameter 2 (s)"
+    (first_message r)
+
+(* ------------------------------------------------------------------ *)
+(* Null checking                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let test_null_deref () =
+  check_codes "deref possibly null" [ "nullderef" ]
+    "void f(/*@null@*/ int *p) { *p = 1; }";
+  check_codes "arrow possibly null" [ "nullderef" ]
+    "typedef struct { int v; } s; int f(/*@null@*/ s *p) { return p->v; }"
+
+let test_null_guards () =
+  (* all the null-test forms the paper mentions *)
+  check_codes "!= NULL" []
+    "void f(/*@null@*/ int *p) { if (p != NULL) { *p = 1; } }";
+  check_codes "== NULL else" []
+    "void f(/*@null@*/ int *p) { if (p == NULL) { return; } *p = 1; }";
+  check_codes "bare condition" []
+    "void f(/*@null@*/ int *p) { if (p) { *p = 1; } }";
+  check_codes "negated" []
+    "void f(/*@null@*/ int *p) { if (!p) { return; } *p = 1; }";
+  check_codes "reversed operands" []
+    "void f(/*@null@*/ int *p) { if (NULL != p) { *p = 1; } }";
+  check_codes "conjunction" []
+    "void f(/*@null@*/ int *p, int c) { if (p != NULL && c) { *p = 1; } }"
+
+let test_null_wrong_branch () =
+  check_codes "deref on null branch" [ "nullderef" ]
+    "void f(/*@null@*/ int *p) { if (p == NULL) { *p = 1; } }"
+
+let test_truenull_falsenull () =
+  check_codes "truenull guard" []
+    "extern /*@truenull@*/ int isNull(/*@null@*/ char *x);\n\
+     void f(/*@null@*/ char *p) { if (!isNull(p)) { *p = 'a'; } }";
+  check_codes "falsenull guard" []
+    "extern /*@falsenull@*/ int ok(/*@null@*/ char *x);\n\
+     void f(/*@null@*/ char *p) { if (ok(p)) { *p = 'a'; } }"
+
+let test_assert_refines () =
+  check_codes "assert" []
+    "void f(/*@null@*/ int *p) { assert(p != NULL); *p = 1; }"
+
+let test_nullpass () =
+  check_codes "null to notnull param" [ "nullpass" ]
+    "extern void use(int *q); void f(/*@null@*/ int *p) { use(p); }";
+  check_codes "null to null param ok" []
+    "extern void use(/*@null@*/ int *q); void f(/*@null@*/ int *p) { use(p); }"
+
+let test_nullret () =
+  check_codes "returning possibly null" [ "nullret" ]
+    "int *f(/*@null@*/ int *p) { return p; }";
+  check_codes "annotated null return ok" []
+    "/*@null@*/ int *f(/*@null@*/ int *p) { return p; }"
+
+let test_relnull () =
+  (* relnull: assignable from null, assumed non-null at use *)
+  check_codes "relnull" []
+    "typedef struct { /*@relnull@*/ char *s; } t;\n\
+     void f(t *x) { x->s = NULL; }\n\
+     char g(t *x) { return *x->s; }"
+
+let test_nullderive () =
+  let r =
+    check
+      "typedef struct { int *q; } s;\n\
+       extern /*@out@*/ /*@only@*/ void *smalloc(size_t);\n\
+       /*@only@*/ s *f(void) { s *p = (s *) smalloc(sizeof(s)); p->q = NULL; \
+       return p; }"
+  in
+  Alcotest.(check bool) "nullderive reported" true (has_code r "nullderive")
+
+(* ------------------------------------------------------------------ *)
+(* Definition checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_use_before_def () =
+  check_codes "scalar" [ "usedef" ] "int f(void) { int x; return x; }";
+  check_codes "assigned ok" [] "int f(void) { int x; x = 3; return x; }"
+
+let test_use_undef_branch () =
+  (* the paper admits this spurious case: defined on one branch only *)
+  let r =
+    check
+      "int f(int c) { int x; if (c) { x = 1; } return x; }"
+  in
+  Alcotest.(check bool) "reported (unsound by design)" true (has_code r "usedef")
+
+let test_out_param () =
+  (* out params enter allocated-but-undefined and must be defined *)
+  check_codes "out defined ok" []
+    "void init(/*@out@*/ int *p) { *p = 0; }";
+  check_codes "reading out param" [ "usedef" ]
+    "int bad(/*@out@*/ int *p) { return *p; }";
+  check_codes "caller passes undefined buffer" []
+    "void init(/*@out@*/ int *p) { *p = 0; }\n\
+     void g(void) { int x; init(&x); }"
+
+let test_out_param_completion () =
+  let r =
+    check
+      "typedef struct { int a; int b; } s;\n\
+       void init(/*@out@*/ s *p) { p->a = 1; }"
+  in
+  Alcotest.(check bool) "incomplete out param" true (has_code r "compdef")
+
+let test_compdef_at_call () =
+  check_codes "undefined struct passed" [ "compdef" ]
+    "typedef struct { int a; } s;\n\
+     extern void use(s *p);\n\
+     void f(void) { s x; use(&x); }"
+
+let test_completion_after_malloc () =
+  let r =
+    check
+      "typedef struct { int a; int b; } s;\n\
+       /*@only@*/ s *mk(void) {\n\
+       s *p = (s *) malloc(sizeof(s));\n\
+       if (p == NULL) { exit(1); }\n\
+       p->a = 1;\n\
+       return p; }"
+  in
+  Alcotest.(check bool) "p->b undefined" true (has_code r "compdef");
+  check_codes "fully defined ok" []
+    "typedef struct { int a; int b; } s;\n\
+     /*@only@*/ s *mk(void) {\n\
+     s *p = (s *) malloc(sizeof(s));\n\
+     if (p == NULL) { exit(1); }\n\
+     p->a = 1;\n\
+     p->b = 2;\n\
+     return p; }"
+
+(* ------------------------------------------------------------------ *)
+(* Allocation checking                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let test_leak_on_reassign () =
+  check_codes "reassign" [ "mustfree" ]
+    "extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(void) { char *p = mk(); p = mk(); free(p); }"
+
+let test_leak_on_scope_exit () =
+  check_codes "scope exit" [ "mustfree" ]
+    "extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(void) { char *p = mk(); p[0] = 'a'; }"
+
+let test_leak_fresh_return_unqualified () =
+  check_codes "fresh returned unqualified" [ "mustfree" ]
+    "char *f(void) { char *p = (char *) malloc(4); if (p == NULL) { exit(1); } \
+     p[0] = 'a'; return p; }"
+
+let test_only_return_ok () =
+  (* the contents of the malloc'd block are undefined, so the return must
+     also be declared out *)
+  check_codes "only out return" []
+    "/*@null@*/ /*@out@*/ /*@only@*/ char *f(void) { return (char *)      malloc(4); }";
+  check_codes "without out the incompleteness is reported" [ "compdef" ]
+    "/*@null@*/ /*@only@*/ char *f(void) { return (char *) malloc(4); }"
+
+let test_use_after_free () =
+  check_codes "uaf" [ "usereleased" ]
+    "void f(void) { char *p = (char *) malloc(4); if (p == NULL) { exit(1); } \
+     free(p); p[0] = 'a'; }"
+
+let test_double_free () =
+  check_codes "double free" [ "usereleased" ]
+    "void f(void) { char *p = (char *) malloc(4); if (p == NULL) { exit(1); } \
+     free(p); free(p); }"
+
+let test_free_temp_param () =
+  let r = check "void f(char *p) { free(p); }" in
+  Alcotest.(check (list string)) "codes" [ "onlytrans" ] (codes r);
+  Alcotest.(check string) "implicitly-temp wording"
+    "Implicitly temp storage p passed as only param ptr of free"
+    (first_message r)
+
+let test_free_only_param_ok () =
+  check_codes "only param freed" [] "void f(/*@only@*/ char *p) { free(p); }"
+
+let test_only_param_leaked () =
+  check_codes "only param ignored" [ "mustfree" ]
+    "void f(/*@only@*/ char *p) { p[0] = 'a'; }"
+
+let test_keep_param () =
+  (* keep: callee takes the obligation, caller may still use *)
+  check_codes "caller keeps using" []
+    "extern void stash(/*@keep@*/ char *p);\n\
+     extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     char f(void) { char *p = mk(); stash(p); return p[0]; }";
+  check_codes "but caller may not free" [ "onlytrans" ]
+    "extern void stash(/*@keep@*/ char *p);\n\
+     extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(void) { char *p = mk(); stash(p); free(p); }"
+
+let test_temp_not_transferred () =
+  (* both Figure 4 messages: the overwritten only global leaks, and temp
+     storage is transferred into an only reference *)
+  check_codes "temp into only store" [ "mustfree"; "onlytrans" ]
+    "extern /*@only@*/ char *g;\n\
+     void f(/*@temp@*/ char *p) { g = p; }"
+
+let test_guarded_free_idiom () =
+  check_codes "if nonnull free" []
+    "void f(/*@null@*/ /*@only@*/ char *p) { if (p != NULL) { free(p); } }"
+
+let test_branchstate () =
+  check_codes "freed on one path" [ "branchstate" ]
+    "void f(/*@only@*/ char *p, int c) { if (c) { free(p); } else { p[0] = 'x'; } }"
+
+let test_compdestroy () =
+  (* footnote 5: freeing a structure whose only field is still live *)
+  let r =
+    check
+      "typedef struct { /*@only@*/ char *s; } box;\n\
+       void f(/*@only@*/ box *b) { free(b); }"
+  in
+  Alcotest.(check bool) "compdestroy" true (has_code r "compdestroy");
+  check_codes "destroy fields first" []
+    "typedef struct { /*@null@*/ /*@only@*/ char *s; } box;\n\
+     void f(/*@only@*/ box *b) { if (b->s != NULL) { free(b->s); } free(b); }"
+
+let test_statement_level_leak () =
+  check_codes "unconsumed fresh result" [ "mustfree" ]
+    "extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(void) { mk(); }"
+
+let test_gc_mode () =
+  (* Section 3: with a garbage collector, failure-to-free is not an error *)
+  let flags = { paper_flags with Flags.gc_mode = true } in
+  check_codes ~flags "no leak reports under +gc" []
+    "extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(void) { char *p = mk(); p = mk(); p[0] = 'a'; }";
+  (* but null checking is still on *)
+  let r =
+    check ~flags "void f(/*@null@*/ int *p) { *p = 1; }"
+  in
+  Alcotest.(check bool) "null still checked" true (has_code r "nullderef")
+
+let test_free_offset_flagged () =
+  let src =
+    "void f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); } \
+     p = p + 2; free(p); }"
+  in
+  (* missed with default flags (the paper's miss profile)... *)
+  check_codes "missed by default" [] src;
+  (* ...caught with the post-paper +freeoffset flag *)
+  let r = check ~flags:{ paper_flags with Flags.free_offset = true } src in
+  Alcotest.(check bool) "caught with flag" true (has_code r "freeoffset")
+
+let test_free_static_flagged () =
+  let src = "void f(void) { char *p = \"lit\"; free(p); }" in
+  check_codes "missed by default" [] src;
+  let r = check ~flags:{ paper_flags with Flags.free_static = true } src in
+  Alcotest.(check bool) "caught with flag" true (has_code r "freestatic")
+
+let test_free_null_ok () =
+  (* "The ANSI Standard allows a null pointer to be passed to free" *)
+  check_codes "free(NULL)" [] "void f(void) { free(NULL); }"
+
+let test_realloc_pattern () =
+  check_codes "realloc consumes and returns" []
+    "extern /*@null@*/ /*@only@*/ char *g;\n\
+     void grow(void) /*@globals g@*/ {\n\
+     g = (char *) realloc(g, 64);\n\
+     if (g == NULL) { exit(1); } }"
+
+(* ------------------------------------------------------------------ *)
+(* Aliasing and exposure                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_unique_violation_and_fix () =
+  check_codes "two shareable params" [ "aliasunique" ]
+    "extern void copy(/*@unique@*/ char *dst, char *src);\n\
+     void f(char *a, char *b) { copy(a, b); }";
+  (* fresh storage cannot alias anything *)
+  check_codes "fresh arg ok" []
+    "extern void copy(/*@out@*/ /*@unique@*/ char *dst, char *src);\n\
+     extern /*@only@*/ /*@notnull@*/ char *mk(void);\n\
+     void f(char *b) { char *a = mk(); copy(a, b); free(a); }";
+  (* a unique parameter of the current function cannot be shared either *)
+  check_codes "unique-to-unique ok" []
+    "extern void copy(/*@out@*/ /*@unique@*/ char *dst, char *src);\n\
+     void f(/*@unique@*/ char *a, char *b) { copy(a, b); }"
+
+let test_returned_param () =
+  check_codes "returned aliasing accepted" []
+    "char *self(/*@returned@*/ char *p) { return p; }"
+
+let test_observer_return () =
+  (* observer results may not be released by the caller *)
+  check_codes "freeing an observer" [ "onlytrans" ]
+    "extern /*@observer@*/ /*@notnull@*/ char *peek(void);\n\
+     void f(void) { char *p = peek(); free(p); }"
+
+(* ------------------------------------------------------------------ *)
+(* Globals and control flow                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_globals_undef () =
+  check_codes "initializer may see undef global" []
+    "int g;\n\
+     void init(void) /*@globals undef g@*/ { g = 1; }";
+  check_codes "without undef the global must stay defined" []
+    "int g;\n\
+     void touch(void) /*@globals g@*/ { g = g + 1; }"
+
+let test_global_null_at_exit () =
+  check_codes "fig2 shape" [ "globnull" ]
+    "extern char *g; void f(/*@null@*/ char *p) { g = p; }"
+
+let test_exits_functions () =
+  (* an exits function terminates the path: no merge anomaly *)
+  check_codes "exit cuts the path" []
+    "int *f(/*@null@*/ int *p) { if (p == NULL) { exit(1); } return p; }"
+
+let test_while_zero_or_one () =
+  (* loop analysed as zero-or-one executions: no iteration fixpoint *)
+  check_codes "loop accumulates" []
+    "int f(int n) { int acc; int i; acc = 0; for (i = 0; i < n; i++) { acc = \
+     acc + i; } return acc; }"
+
+let test_switch_branches () =
+  check_codes "switch arms independent" []
+    "int f(int c) { int x; switch (c) { case 0: x = 1; break; default: x = 2; \
+     } return x; }";
+  (* missing default: the no-match path has x undefined *)
+  let r =
+    check
+      "int f(int c) { int x; switch (c) { case 0: x = 1; break; } return x; }"
+  in
+  Alcotest.(check bool) "no-default leaves x undefined" true (has_code r "usedef")
+
+let test_break_merges () =
+  check_codes "break paths merge" []
+    "int f(int n) { int i; for (i = 0; i < n; i++) { if (i == 3) { break; } } \
+     return i; }"
+
+(* ------------------------------------------------------------------ *)
+(* Suppression                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_suppress_line () =
+  let src =
+    "void f(/*@null@*/ int *p) {\n  /*@i@*/ *p = 1;\n}"
+  in
+  let r = check src in
+  Alcotest.(check (list string)) "suppressed" [] (codes r);
+  Alcotest.(check int) "counted" 1 (List.length r.Check.suppressed)
+
+let test_suppress_region () =
+  let src =
+    "void f(/*@null@*/ int *p, /*@null@*/ int *q) {\n\
+     /*@ignore@*/\n\
+     *p = 1;\n\
+     *q = 2;\n\
+     /*@end@*/\n\
+     }"
+  in
+  let r = check src in
+  Alcotest.(check (list string)) "suppressed" [] (codes r);
+  Alcotest.(check int) "counted" 2 (List.length r.Check.suppressed)
+
+let test_suppress_unmatched_end () =
+  let r = check "/*@end@*/ int g;" in
+  Alcotest.(check bool) "unmatched end reported" true (has_code r "suppress")
+
+(* ------------------------------------------------------------------ *)
+(* Implicit annotations end to end                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_implicit_only_return_clean () =
+  (* with implicit only returns, the erc_create shape is clean *)
+  let r = check ~flags:Flags.default Corpus.Figures.fig7_erc_create in
+  Alcotest.(check (list string)) "clean" [] (codes r)
+
+let test_annotation_error_reported () =
+  let r = check "void f(/*@only@*/ /*@temp@*/ char *p) { free(p); }" in
+  Alcotest.(check bool) "conflict reported" true (has_code r "annot")
+
+
+(* ------------------------------------------------------------------ *)
+(* Extensions: observer modification, ablation flags, spec mode        *)
+(* ------------------------------------------------------------------ *)
+
+let test_modobserver () =
+  let r =
+    check
+      "typedef struct { int n; } box;\n\
+       extern /*@observer@*/ /*@notnull@*/ box *peek(void);\n\
+       void f(void) { box *b = peek(); b->n = 3; }"
+  in
+  Alcotest.(check bool) "modification reported" true (has_code r "modobserver")
+
+let test_ablation_guards () =
+  (* disabling guard refinement loses the Figure 3 fix *)
+  let flags = { paper_flags with Flags.guard_refinement = false } in
+  let r = check ~flags Corpus.Figures.fig3_sample_fixed in
+  Alcotest.(check bool) "false positive without guards" true
+    (r.Check.reports <> []);
+  (* and the full analysis is clean *)
+  check_codes "clean with guards" [] Corpus.Figures.fig3_sample_fixed
+
+let test_ablation_aliases () =
+  (* without alias tracking, exit checks cannot see what happened to the
+     externally visible parameter: the clean db stage grows noise *)
+  let flags = { Corpus.Employee_db.paper_flags with Flags.alias_tracking = false } in
+  let r = Corpus.Employee_db.check ~flags Corpus.Employee_db.max_stage in
+  let full = Corpus.Employee_db.check ~flags:Corpus.Employee_db.paper_flags
+      Corpus.Employee_db.max_stage in
+  Alcotest.(check int) "full analysis clean" 0 (List.length full.Check.reports);
+  Alcotest.(check bool) "ablated analysis degrades" true
+    (List.length r.Check.reports > 0)
+
+let test_spec_mode_stdlib () =
+  (* the LCL-notation library provides the same malloc contract *)
+  let prog = Stdspec.lcl_environment () in
+  let fs = Hashtbl.find prog.Sema.p_funcs "malloc" in
+  let an = fs.Sema.fs_ret_annots.Sema.an in
+  Alcotest.(check bool) "null out only" true
+    (an.Annot.an_null = Some Annot.Null
+    && an.Annot.an_def = Some Annot.Out
+    && an.Annot.an_alloc = Some Annot.Only)
+
+let test_check_against_lcl_library () =
+  (* checking user code against the LCL-notation library behaves like the
+     comment-notation one *)
+  let flags = paper_flags in
+  let prog = Stdspec.lcl_environment ~flags () in
+  let r = Check.run ~flags ~into:prog ~file:"t.c"
+      "void f(void) { char *p = (char *) malloc(4); if (p == NULL) { \
+       exit(1); } p[0] = 'a'; }"
+  in
+  Alcotest.(check (list string)) "leak found" [ "mustfree" ] (Check.codes r)
+
+let extension_tests =
+  [
+    Alcotest.test_case "observer modification" `Quick test_modobserver;
+    Alcotest.test_case "ablation: guards" `Quick test_ablation_guards;
+    Alcotest.test_case "ablation: aliases" `Quick test_ablation_aliases;
+    Alcotest.test_case "LCL stdlib" `Quick test_spec_mode_stdlib;
+    Alcotest.test_case "check vs LCL library" `Quick test_check_against_lcl_library;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Reference counting (the [3] extension: refcounted/newref/killref)   *)
+(* ------------------------------------------------------------------ *)
+
+let rc_decls =
+  "typedef /*@refcounted@*/ struct _rc { int count; int data; } *rc;\n\
+   extern /*@newref@*/ /*@notnull@*/ rc rc_create(int data);\n\
+   extern /*@newref@*/ /*@notnull@*/ rc rc_ref(/*@tempref@*/ rc r);\n\
+   extern void rc_release(/*@killref@*/ rc r);\n"
+
+let test_refcount_balanced () =
+  check_codes "create/release balanced" []
+    (rc_decls
+    ^ "int f(void) { rc r = rc_create(1); int d = r->data; rc_release(r); \
+       return d; }")
+
+let test_refcount_missing_release () =
+  let r =
+    check (rc_decls ^ "int f(void) { rc r = rc_create(1); return r->data; }")
+  in
+  Alcotest.(check bool) "reference leak" true (has_code r "mustfree")
+
+let test_refcount_double_release () =
+  let r =
+    check
+      (rc_decls
+      ^ "void f(void) { rc r = rc_create(1); rc_release(r); rc_release(r); }")
+  in
+  Alcotest.(check bool) "double release flagged" true (has_code r "refcount")
+
+let test_refcount_tempref_no_consume () =
+  check_codes "tempref leaves the reference live" []
+    (rc_decls
+    ^ "/*@newref@*/ rc dup(void) { rc r = rc_create(1); rc extra = \
+       rc_ref(r); rc_release(r); return extra; }")
+
+let test_refcount_killref_param () =
+  (* a killref parameter arrives with an obligation the callee must meet *)
+  check_codes "consumed" []
+    (rc_decls ^ "void sink(/*@killref@*/ rc r) { rc_release(r); }");
+  let r =
+    check (rc_decls ^ "void sink(/*@killref@*/ rc r) { int d = r->data; }")
+  in
+  Alcotest.(check bool) "unconsumed killref param" true (has_code r "mustfree")
+
+let test_refcount_incompatible_annots () =
+  let r =
+    check
+      "typedef struct _x { int n; } *x;\n\
+       extern void bad(/*@killref@*/ /*@tempref@*/ x v);"
+  in
+  Alcotest.(check bool) "killref+tempref rejected" true (has_code r "annot")
+
+let refcount_tests =
+  [
+    Alcotest.test_case "balanced" `Quick test_refcount_balanced;
+    Alcotest.test_case "missing release" `Quick test_refcount_missing_release;
+    Alcotest.test_case "double release" `Quick test_refcount_double_release;
+    Alcotest.test_case "tempref" `Quick test_refcount_tempref_no_consume;
+    Alcotest.test_case "killref param" `Quick test_refcount_killref_param;
+    Alcotest.test_case "incompatible" `Quick test_refcount_incompatible_annots;
+  ]
+
+
+(* ------------------------------------------------------------------ *)
+(* Modifies clauses (Section 2's "constraints on what may be modified") *)
+(* ------------------------------------------------------------------ *)
+
+let test_modifies_respected () =
+  check_codes "listed modification ok" []
+    "int g;\nvoid bump(void) /*@globals g@*/ /*@modifies g@*/ { g = g + 1; }"
+
+let test_modifies_violation () =
+  let r =
+    check
+      "int g1;\nint g2;\nvoid touch(void) /*@globals g1; g2@*/ /*@modifies \
+       g1@*/ { g1 = 1; g2 = 2; }"
+  in
+  Alcotest.(check bool) "undocumented modification" true (has_code r "modifies")
+
+let test_modifies_nothing () =
+  check_codes "pure function ok" []
+    "int pure(int x) /*@modifies nothing@*/ { int y; y = x + 1; return y; }";
+  let r =
+    check
+      "int g;\nvoid bad(void) /*@globals g@*/ /*@modifies nothing@*/ { g = \
+       1; }"
+  in
+  Alcotest.(check bool) "nothing means nothing" true (has_code r "modifies")
+
+let test_modifies_locals_free () =
+  (* locals are never externally visible: no constraint *)
+  check_codes "locals unconstrained" []
+    "int f(void) /*@modifies nothing@*/ { int a; a = 1; a = 2; return a; }"
+
+let modifies_tests =
+  [
+    Alcotest.test_case "respected" `Quick test_modifies_respected;
+    Alcotest.test_case "violation" `Quick test_modifies_violation;
+    Alcotest.test_case "nothing" `Quick test_modifies_nothing;
+    Alcotest.test_case "locals free" `Quick test_modifies_locals_free;
+  ]
+
+let () =
+  Alcotest.run "check"
+    [
+      ( "figures",
+        [
+          Alcotest.test_case "fig1 clean" `Quick test_fig1_unannotated_clean;
+          Alcotest.test_case "fig2 message" `Quick test_fig2_message;
+          Alcotest.test_case "fig3 fixed" `Quick test_fig3_fixed;
+          Alcotest.test_case "fig4 messages" `Quick test_fig4_messages;
+          Alcotest.test_case "fig5 anomalies" `Quick test_fig5_messages;
+          Alcotest.test_case "fig5 fixed" `Quick test_fig5_fixed;
+          Alcotest.test_case "fig7 erc_create" `Quick test_fig7_erc_create;
+          Alcotest.test_case "fig8 strcpy unique" `Quick test_fig8_strcpy_unique;
+        ] );
+      ( "null",
+        [
+          Alcotest.test_case "deref" `Quick test_null_deref;
+          Alcotest.test_case "guards" `Quick test_null_guards;
+          Alcotest.test_case "wrong branch" `Quick test_null_wrong_branch;
+          Alcotest.test_case "truenull/falsenull" `Quick test_truenull_falsenull;
+          Alcotest.test_case "assert" `Quick test_assert_refines;
+          Alcotest.test_case "nullpass" `Quick test_nullpass;
+          Alcotest.test_case "nullret" `Quick test_nullret;
+          Alcotest.test_case "relnull" `Quick test_relnull;
+          Alcotest.test_case "nullderive" `Quick test_nullderive;
+        ] );
+      ( "definition",
+        [
+          Alcotest.test_case "use before def" `Quick test_use_before_def;
+          Alcotest.test_case "branch-only def" `Quick test_use_undef_branch;
+          Alcotest.test_case "out params" `Quick test_out_param;
+          Alcotest.test_case "out completion" `Quick test_out_param_completion;
+          Alcotest.test_case "compdef at call" `Quick test_compdef_at_call;
+          Alcotest.test_case "malloc completion" `Quick test_completion_after_malloc;
+        ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "leak on reassign" `Quick test_leak_on_reassign;
+          Alcotest.test_case "leak on scope exit" `Quick test_leak_on_scope_exit;
+          Alcotest.test_case "fresh return unqualified" `Quick test_leak_fresh_return_unqualified;
+          Alcotest.test_case "only return ok" `Quick test_only_return_ok;
+          Alcotest.test_case "use after free" `Quick test_use_after_free;
+          Alcotest.test_case "double free" `Quick test_double_free;
+          Alcotest.test_case "free temp param" `Quick test_free_temp_param;
+          Alcotest.test_case "free only param" `Quick test_free_only_param_ok;
+          Alcotest.test_case "only param leaked" `Quick test_only_param_leaked;
+          Alcotest.test_case "keep param" `Quick test_keep_param;
+          Alcotest.test_case "temp not transferred" `Quick test_temp_not_transferred;
+          Alcotest.test_case "guarded free" `Quick test_guarded_free_idiom;
+          Alcotest.test_case "branchstate" `Quick test_branchstate;
+          Alcotest.test_case "compdestroy" `Quick test_compdestroy;
+          Alcotest.test_case "statement-level leak" `Quick test_statement_level_leak;
+          Alcotest.test_case "gc mode" `Quick test_gc_mode;
+          Alcotest.test_case "free offset flag" `Quick test_free_offset_flagged;
+          Alcotest.test_case "free static flag" `Quick test_free_static_flagged;
+          Alcotest.test_case "free(NULL)" `Quick test_free_null_ok;
+          Alcotest.test_case "realloc" `Quick test_realloc_pattern;
+        ] );
+      ( "aliasing",
+        [
+          Alcotest.test_case "unique" `Quick test_unique_violation_and_fix;
+          Alcotest.test_case "returned" `Quick test_returned_param;
+          Alcotest.test_case "observer" `Quick test_observer_return;
+        ] );
+      ( "globals-and-flow",
+        [
+          Alcotest.test_case "globals undef" `Quick test_globals_undef;
+          Alcotest.test_case "global null at exit" `Quick test_global_null_at_exit;
+          Alcotest.test_case "exits functions" `Quick test_exits_functions;
+          Alcotest.test_case "while zero-or-one" `Quick test_while_zero_or_one;
+          Alcotest.test_case "switch" `Quick test_switch_branches;
+          Alcotest.test_case "break" `Quick test_break_merges;
+        ] );
+      ("extensions", extension_tests);
+      ("refcounting", refcount_tests);
+      ("modifies", modifies_tests);
+      ( "suppression",
+        [
+          Alcotest.test_case "line" `Quick test_suppress_line;
+          Alcotest.test_case "region" `Quick test_suppress_region;
+          Alcotest.test_case "unmatched end" `Quick test_suppress_unmatched_end;
+        ] );
+      ( "implicit",
+        [
+          Alcotest.test_case "implicit only return" `Quick test_implicit_only_return_clean;
+          Alcotest.test_case "annotation conflicts" `Quick test_annotation_error_reported;
+        ] );
+    ]

@@ -1,0 +1,141 @@
+(* Interface-library tests: save/load round-trips, modular checking. *)
+
+module Flags = Annot.Flags
+
+let lib_src =
+  "typedef struct _node { int v; /*@null@*/ /*@only@*/ struct _node *next; } \
+   node;\n\
+   /*@only@*/ node *node_create(int v)\n\
+   {\n\
+   node *n = (node *) malloc(sizeof(node));\n\
+   if (n == NULL) { exit(1); }\n\
+   n->v = v;\n\
+   n->next = NULL;\n\
+   return n;\n\
+   }\n\
+   void node_destroy(/*@only@*/ node *n)\n\
+   {\n\
+   if (n->next != NULL) { node_destroy(n->next); }\n\
+   free(n);\n\
+   }\n\
+   int node_value(node *n) { return n->v; }\n"
+
+let flags = Flags.(allimponly_off default)
+
+let build_lib () =
+  let prog = Stdspec.environment ~flags () in
+  let typedefs = Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs [] in
+  let tu = Cfront.Parser.parse_string ~typedefs ~file:"node.c" lib_src in
+  ignore (Sema.analyze ~flags ~into:prog tu);
+  prog
+
+let test_save_parses () =
+  let prog = build_lib () in
+  let text = Check.Libspec.save prog in
+  (* the dumped header must load into a fresh environment without errors *)
+  let env = Check.Libspec.load ~flags ~file:"node.lh" text in
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (Cfront.Diag.Collector.all env.Sema.diags));
+  Alcotest.(check bool) "node_create present" true
+    (Hashtbl.mem env.Sema.p_funcs "node_create")
+
+let test_roundtrip_annotations () =
+  let prog = build_lib () in
+  let env = Check.Libspec.load ~flags ~file:"node.lh" (Check.Libspec.save prog) in
+  let orig = Hashtbl.find prog.Sema.p_funcs "node_create" in
+  let loaded = Hashtbl.find env.Sema.p_funcs "node_create" in
+  Alcotest.(check bool) "only ret survives" true
+    (Annot.equal_set orig.Sema.fs_ret_annots.Sema.an
+       loaded.Sema.fs_ret_annots.Sema.an);
+  let orig_d = Hashtbl.find prog.Sema.p_funcs "node_destroy" in
+  let loaded_d = Hashtbl.find env.Sema.p_funcs "node_destroy" in
+  List.iter2
+    (fun (a : Sema.param) (b : Sema.param) ->
+      Alcotest.(check bool) "param annots survive" true
+        (Annot.equal_set a.Sema.pr_annots.Sema.an b.Sema.pr_annots.Sema.an))
+    orig_d.Sema.fs_params loaded_d.Sema.fs_params;
+  (* field annotations survive through the struct layout *)
+  match Sema.find_field env "_node" "next" with
+  | Some f ->
+      Alcotest.(check bool) "field null+only" true
+        (f.Sema.sf_annots.Sema.an.Annot.an_null = Some Annot.Null
+        && f.Sema.sf_annots.Sema.an.Annot.an_alloc = Some Annot.Only)
+  | None -> Alcotest.fail "field next lost"
+
+let test_idempotent () =
+  (* saving a loaded library reproduces the same interface text *)
+  let prog = build_lib () in
+  let text1 = Check.Libspec.save prog in
+  let env = Check.Libspec.load ~flags ~file:"node.lh" text1 in
+  let text2 = Check.Libspec.save env in
+  (* the header comment names the source file; compare the body *)
+  let body t =
+    match String.index_opt t '\n' with
+    | Some i -> String.sub t i (String.length t - i)
+    | None -> t
+  in
+  Alcotest.(check string) "fixpoint" (body text1) (body text2)
+
+let check_client client =
+  let env = Stdspec.environment ~flags () in
+  let env =
+    Check.Libspec.load ~flags ~into:env ~file:"node.lh"
+      (Check.Libspec.save (build_lib ()))
+  in
+  let typedefs = Hashtbl.fold (fun k _ acc -> k :: acc) env.Sema.p_typedefs [] in
+  let tu = Cfront.Parser.parse_string ~typedefs ~file:"client.c" client in
+  ignore (Sema.analyze ~flags ~into:env tu);
+  let before = List.length (Cfront.Diag.Collector.all env.Sema.diags) in
+  ignore before;
+  List.iter
+    (fun ((fs : Sema.funsig), def) ->
+      if fs.Sema.fs_loc.Cfront.Loc.file = "client.c" then
+        Check.Checker.check_fundef env fs def)
+    (Sema.fundefs env);
+  List.map
+    (fun (d : Cfront.Diag.t) -> d.Cfront.Diag.code)
+    (Cfront.Diag.Collector.sorted env.Sema.diags)
+
+let test_modular_clean_client () =
+  Alcotest.(check (list string)) "clean client" []
+    (check_client
+       "int main(void) { node *n = node_create(1); int v = node_value(n); \
+        node_destroy(n); return v; }")
+
+let test_modular_buggy_client () =
+  (* the leak is found using only the interface library *)
+  Alcotest.(check (list string)) "leaking client" [ "mustfree" ]
+    (check_client
+       "int main(void) { node *n = node_create(1); node *m = node_create(2); \
+        n = m; node_destroy(n); return 0; }")
+
+let test_stdlib_library_clean () =
+  (* the annotated standard library itself round-trips *)
+  let prog = Stdspec.environment ~flags () in
+  let text = Check.Libspec.save prog in
+  let env = Check.Libspec.load ~flags ~file:"std.lh" text in
+  Alcotest.(check int) "no diagnostics" 0
+    (List.length (Cfront.Diag.Collector.all env.Sema.diags));
+  Alcotest.(check bool) "malloc annotations survive" true
+    (let fs = Hashtbl.find env.Sema.p_funcs "malloc" in
+     let an = fs.Sema.fs_ret_annots.Sema.an in
+     an.Annot.an_null = Some Annot.Null
+     && an.Annot.an_def = Some Annot.Out
+     && an.Annot.an_alloc = Some Annot.Only)
+
+let () =
+  Alcotest.run "libspec"
+    [
+      ( "roundtrip",
+        [
+          Alcotest.test_case "save parses" `Quick test_save_parses;
+          Alcotest.test_case "annotations survive" `Quick test_roundtrip_annotations;
+          Alcotest.test_case "idempotent" `Quick test_idempotent;
+          Alcotest.test_case "stdlib" `Quick test_stdlib_library_clean;
+        ] );
+      ( "modular",
+        [
+          Alcotest.test_case "clean client" `Quick test_modular_clean_client;
+          Alcotest.test_case "buggy client" `Quick test_modular_buggy_client;
+        ] );
+    ]

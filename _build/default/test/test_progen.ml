@@ -1,0 +1,147 @@
+(* Program generator tests: determinism, cleanliness, and the
+   static-vs-dynamic detection matrix the paper's evaluation rests on. *)
+
+module Flags = Annot.Flags
+
+let test_determinism () =
+  let a = Progen.generate ~seed:7 ~modules:3 ~fns_per_module:4 () in
+  let b = Progen.generate ~seed:7 ~modules:3 ~fns_per_module:4 () in
+  Alcotest.(check bool) "same files" true (a.Progen.files = b.Progen.files);
+  let c = Progen.generate ~seed:8 ~modules:3 ~fns_per_module:4 () in
+  Alcotest.(check bool) "different seed differs" true
+    (a.Progen.files <> c.Progen.files)
+
+let test_size_scales () =
+  let small = Progen.generate ~modules:2 ~fns_per_module:2 () in
+  let big = Progen.generate ~modules:8 ~fns_per_module:12 () in
+  Alcotest.(check bool) "more modules, more lines" true
+    (big.Progen.loc > 2 * small.Progen.loc)
+
+let test_clean_program_static () =
+  let p = Progen.generate ~modules:4 ~fns_per_module:6 () in
+  let r = Progen.static_check p in
+  Alcotest.(check (list string)) "no reports" [] (Check.codes r)
+
+let test_unannotated_program_messages () =
+  (* stripping the annotations surfaces messages (the paper's "running
+     LCLint on the code with no annotations produced on the order of a
+     thousand messages" effect, at our scale) *)
+  let p = Progen.generate ~modules:6 ~fns_per_module:4 ~annotated:false () in
+  let flags = Flags.(allimponly_off default) in
+  let r = Progen.static_check ~flags p in
+  Alcotest.(check bool) "messages appear" true
+    (List.length r.Check.reports > List.length p.Progen.files)
+
+(* ------------------------------------------------------------------ *)
+(* The detection matrix (paper, Sections 1 and 7)                      *)
+(* ------------------------------------------------------------------ *)
+
+let seeded_program ?(coverage = 1.0) () =
+  Progen.generate ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds
+    ~coverage ()
+
+let static_codes ?flags p =
+  Check.codes (Progen.static_check ?flags p)
+
+let test_static_finds_its_classes () =
+  let p = seeded_program () in
+  let codes = static_codes p in
+  (* leak, use-after-free (x2 via double free), null-deref, use-undef *)
+  Alcotest.(check bool) "leak" true (List.mem "mustfree" codes);
+  Alcotest.(check bool) "use-after-free" true (List.mem "usereleased" codes);
+  Alcotest.(check bool) "null-deref" true (List.mem "nullderef" codes);
+  Alcotest.(check bool) "use-undef" true (List.mem "usedef" codes)
+
+let test_static_misses_paper_classes () =
+  (* footnote 8 + the global-flow limitation *)
+  let p = seeded_program () in
+  let codes = static_codes p in
+  Alcotest.(check bool) "no freeoffset" false (List.mem "freeoffset" codes);
+  Alcotest.(check bool) "no freestatic" false (List.mem "freestatic" codes)
+
+let test_extension_flags_recover () =
+  let p = seeded_program () in
+  let flags = { Flags.default with Flags.free_offset = true; free_static = true } in
+  let codes = static_codes ~flags p in
+  Alcotest.(check bool) "freeoffset caught" true (List.mem "freeoffset" codes);
+  Alcotest.(check bool) "freestatic caught" true (List.mem "freestatic" codes)
+
+let test_dynamic_finds_executed_bugs () =
+  let p = seeded_program () in
+  let r = Progen.dynamic_check p in
+  let kinds =
+    List.map (fun (e : Rtcheck.Heap.error) -> e.Rtcheck.Heap.e_kind) r.Rtcheck.errors
+  in
+  Alcotest.(check bool) "offset free" true
+    (List.mem Rtcheck.Heap.Efree_offset kinds);
+  Alcotest.(check bool) "static free" true
+    (List.mem Rtcheck.Heap.Efree_nonheap kinds);
+  Alcotest.(check bool) "double free" true
+    (List.mem Rtcheck.Heap.Edouble_free kinds);
+  Alcotest.(check bool) "use after free" true
+    (List.mem Rtcheck.Heap.Euse_after_free kinds);
+  Alcotest.(check bool) "leaks reported" true (r.Rtcheck.leaks <> [])
+
+let test_dynamic_misses_untaken_path () =
+  (* the null-deref hides on the malloc-failure path *)
+  let p = seeded_program () in
+  let r = Progen.dynamic_check p in
+  let kinds =
+    List.map (fun (e : Rtcheck.Heap.error) -> e.Rtcheck.Heap.e_kind) r.Rtcheck.errors
+  in
+  Alcotest.(check bool) "null-deref not observed" false
+    (List.mem Rtcheck.Heap.Enull_deref kinds)
+
+let test_coverage_monotone () =
+  (* "its effectiveness depends entirely on running the right test cases" *)
+  let count cov =
+    let p = seeded_program ~coverage:cov () in
+    let r = Progen.dynamic_check p in
+    List.length r.Rtcheck.errors + List.length r.Rtcheck.leaks
+  in
+  let at0 = count 0.0 and at50 = count 0.5 and at100 = count 1.0 in
+  Alcotest.(check bool) "0 < 50" true (at0 < at50);
+  Alcotest.(check bool) "50 < 100" true (at50 < at100);
+  Alcotest.(check int) "nothing at zero coverage" 0 at0
+
+let test_static_is_coverage_independent () =
+  let at cov = List.length (static_codes (seeded_program ~coverage:cov ())) in
+  Alcotest.(check int) "same findings at 0% and 100%" (at 1.0) (at 0.0)
+
+let test_seeded_manifest () =
+  let p = seeded_program ~coverage:0.5 () in
+  Alcotest.(check int) "eight bugs seeded" 8 (List.length p.Progen.seeded);
+  let executed = List.filter (fun s -> s.Progen.sb_executed) p.Progen.seeded in
+  Alcotest.(check int) "half executed" 4 (List.length executed)
+
+(* property: clean programs of any seed stay clean *)
+let prop_clean_static =
+  QCheck.Test.make ~count:15 ~name:"any seed yields a statically clean program"
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let p = Progen.generate ~seed ~modules:2 ~fns_per_module:3 () in
+      (Progen.static_check p).Check.reports = [])
+
+let () =
+  Alcotest.run "progen"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "size scales" `Quick test_size_scales;
+          Alcotest.test_case "clean static" `Quick test_clean_program_static;
+          Alcotest.test_case "unannotated messages" `Quick test_unannotated_program_messages;
+          QCheck_alcotest.to_alcotest prop_clean_static;
+        ] );
+      ( "detection-matrix",
+        [
+          Alcotest.test_case "static finds" `Quick test_static_finds_its_classes;
+          Alcotest.test_case "static misses" `Quick test_static_misses_paper_classes;
+          Alcotest.test_case "extension flags" `Quick test_extension_flags_recover;
+          Alcotest.test_case "dynamic finds" `Quick test_dynamic_finds_executed_bugs;
+          Alcotest.test_case "dynamic misses" `Quick test_dynamic_misses_untaken_path;
+          Alcotest.test_case "coverage monotone" `Quick test_coverage_monotone;
+          Alcotest.test_case "static coverage-independent" `Quick test_static_is_coverage_independent;
+          Alcotest.test_case "manifest" `Quick test_seeded_manifest;
+        ] );
+    ]
