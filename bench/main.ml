@@ -377,6 +377,38 @@ let ablation () =
   row "  analysis); fig5/seeded count real anomalies found.\n"
 
 (* ------------------------------------------------------------------ *)
+(* E8: telemetry phase breakdown                                       *)
+(* ------------------------------------------------------------------ *)
+
+let phases () =
+  section "E8: pipeline phase breakdown (telemetry)";
+  row "  Where checking time goes, per phase, for the employee database\n";
+  row "  and a generated 3k-line program.  Written to BENCH_phases.json.\n\n";
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let flags = E.paper_flags in
+  let prog = Stdspec.environment ~flags () in
+  List.iter
+    (fun (f : E.file) ->
+      let typedefs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+      in
+      let tu = Cfront.Parser.parse_string ~typedefs ~file:f.E.name f.E.text in
+      ignore (Sema.analyze ~flags ~into:prog tu))
+    (E.stage E.max_stage);
+  Check.Checker.check_program prog;
+  let gen = Progen.generate ~modules:8 ~fns_per_module:10 () in
+  ignore (Progen.static_check gen);
+  Format.printf "%a" Telemetry.pp_stats ();
+  let oc = open_out "BENCH_phases.json" in
+  output_string oc (Telemetry.Json.to_string (Telemetry.to_json ()));
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_phases.json\n";
+  Telemetry.set_enabled false;
+  Telemetry.reset ()
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -469,6 +501,7 @@ let experiments =
     ("rt_coverage", rt_coverage);
     ("annot_burden", annot_burden);
     ("ablation", ablation);
+    ("phases", phases);
     ("micro", micro);
   ]
 

@@ -19,15 +19,24 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet =
+let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
+    timings json =
   let flags =
     match Annot.Flags.(apply_all default) flag_args with
     | Ok f -> f
     | Error (Annot.Flags.Unknown_flag name) ->
-        Printf.eprintf "olclint: unknown flag '%s' (known: %s)\n" name
-          (String.concat ", " Annot.Flags.flag_names);
+        (match Annot.Flags.suggest name with
+        | Some near ->
+            Printf.eprintf "olclint: unknown flag '%s' (did you mean '%s'?)\n"
+              name near
+        | None ->
+            Printf.eprintf
+              "olclint: unknown flag '%s' (see olclint --help or \
+               docs/diagnostics.md for the flag list)\n"
+              name);
         exit 2
   in
+  if stats || timings then Telemetry.set_enabled true;
   let prog =
     if no_stdlib then Sema.create_program ~flags ~file:"<none>" ()
     else Stdspec.environment ~flags ()
@@ -63,7 +72,16 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet =
   List.iter (Cfront.Diag.Collector.emit prog.Sema.diags) errs;
   let all = Cfront.Diag.Collector.sorted prog.Sema.diags in
   let kept, suppressed = Check.Suppress.filter table all in
-  if not quiet then
+  (* -json: one record per diagnostic (kept and suppressed) on stdout;
+     the human summary moves to stderr so stdout stays pure NDJSON *)
+  if json then
+    List.iter
+      (fun (d, supp) ->
+        print_endline
+          (Telemetry.Json.to_string (Cfront.Diag.to_json ~suppressed:supp d)))
+      (List.map (fun d -> (d, false)) kept
+      @ List.map (fun d -> (d, true)) suppressed)
+  else if not quiet then
     List.iter (fun d -> print_endline (Cfront.Diag.to_string d)) kept;
   (match dump_lib with
   | Some path ->
@@ -71,10 +89,13 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet =
       output_string oc (Check.Libspec.save prog);
       close_out oc
   | None -> ());
-  Printf.printf "%d code warning%s%s\n" (List.length kept)
+  let summary_out = if json then stderr else stdout in
+  Printf.fprintf summary_out "%d code warning%s%s\n" (List.length kept)
     (if List.length kept = 1 then "" else "s")
     (if suppressed = [] then ""
      else Printf.sprintf " (%d suppressed)" (List.length suppressed));
+  if timings then Format.eprintf "%a%!" Telemetry.pp_timings ();
+  if stats then Format.eprintf "%a%!" Telemetry.pp_stats ();
   if kept = [] then 0 else 1
 
 let files_arg =
@@ -120,6 +141,31 @@ let no_stdlib_arg =
 let quiet_arg =
   Arg.(value & flag & info [ "q"; "quiet" ] ~doc:"Only print the summary line.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print a telemetry summary to stderr: per-phase times, pipeline \
+           counters (tokens, AST nodes, procedures, store operations, \
+           diagnostics by category) and the slowest procedures.")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print a per-file per-phase timing table to stderr.")
+
+let json_arg =
+  Arg.(
+    value & flag
+    & info [ "json" ]
+        ~doc:
+          "Emit diagnostics as line-delimited JSON records on stdout (one \
+           object per diagnostic, suppressed ones included with \
+           $(i,suppressed: true)); the summary line moves to stderr.  See \
+           docs/diagnostics.md for the record schema.")
+
 let cmd =
   let doc =
     "static detection of dynamic memory errors (LCLint-style checker)"
@@ -128,6 +174,19 @@ let cmd =
     (Cmd.info "olclint" ~version:"1.0" ~doc)
     Term.(
       const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
-      $ dump_lib_arg $ no_stdlib_arg $ quiet_arg)
+      $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
+      $ json_arg)
 
-let () = exit (Cmd.eval' cmd)
+(* LCLint heritage: tolerate single-dash spellings of the long telemetry
+   flags ([-json], [-stats], [-timings]) by rewriting them before cmdliner
+   (which reserves single dashes for short options) sees them. *)
+let argv =
+  Array.map
+    (function
+      | "-stats" -> "--stats"
+      | "-timings" -> "--timings"
+      | "-json" -> "--json"
+      | a -> a)
+    Sys.argv
+
+let () = exit (Cmd.eval' ~argv cmd)

@@ -15,7 +15,8 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run files entry max_steps show_output show_profile =
+let run files entry max_steps show_output show_profile stats timings =
+  if stats || timings then Telemetry.set_enabled true;
   let flags = Annot.Flags.default in
   let prog = Stdspec.environment ~flags () in
   (try
@@ -34,10 +35,15 @@ let run files entry max_steps show_output show_profile =
   | Sys_error msg ->
       Printf.eprintf "olcrun: %s\n" msg;
       exit 2);
-  let r = Rtcheck.run ~entry ~max_steps prog in
+  let r =
+    Telemetry.with_span Telemetry.phase_interp (fun () ->
+        Rtcheck.run ~entry ~max_steps prog)
+  in
   if show_output then print_string r.Rtcheck.output;
   Format.printf "%a" Rtcheck.pp_summary r;
   if show_profile then Format.printf "%a" Rtcheck.pp_profile r;
+  if timings then Format.eprintf "%a%!" Telemetry.pp_timings ();
+  if stats then Format.eprintf "%a%!" Telemetry.pp_stats ();
   if r.Rtcheck.errors = [] && r.Rtcheck.leaks = [] then 0 else 1
 
 let files_arg =
@@ -63,12 +69,31 @@ let show_profile_arg =
     & info [ "profile" ]
         ~doc:"Print the mprof-style per-site allocation profile.")
 
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:"Print a telemetry summary (phases, counters) to stderr.")
+
+let timings_arg =
+  Arg.(
+    value & flag
+    & info [ "timings" ]
+        ~doc:"Print a per-file per-phase timing table to stderr.")
+
 let cmd =
   let doc = "run-time memory checking (instrumented interpreter)" in
   Cmd.v
     (Cmd.info "olcrun" ~version:"1.0" ~doc)
     Term.(
       const run $ files_arg $ entry_arg $ max_steps_arg $ show_output_arg
-      $ show_profile_arg)
+      $ show_profile_arg $ stats_arg $ timings_arg)
 
-let () = exit (Cmd.eval' cmd)
+(* accept the LCLint-style single-dash spellings too *)
+let argv =
+  Array.map
+    (function
+      | "-stats" -> "--stats" | "-timings" -> "--timings" | a -> a)
+    Sys.argv
+
+let () = exit (Cmd.eval' ~argv cmd)

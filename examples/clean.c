@@ -1,0 +1,33 @@
+/* A clean module: every annotation obligation is met, so olclint exits 0
+   with "0 code warnings".  Useful as a baseline for the -stats and -json
+   flags. */
+typedef struct _node {
+  int v;
+  /*@null@*/ /*@only@*/ struct _node *next;
+} node;
+
+/*@only@*/ node *node_create(int v)
+{
+  node *n = (node *) malloc(sizeof(node));
+  if (n == NULL) {
+    exit(1);
+  }
+  n->v = v;
+  n->next = NULL;
+  return n;
+}
+
+void node_destroy(/*@only@*/ node *n)
+{
+  if (n->next != NULL) {
+    node_destroy(n->next);
+  }
+  free(n);
+}
+
+int main(void)
+{
+  node *a = node_create(1);
+  node_destroy(a);
+  return 0;
+}

@@ -1,0 +1,33 @@
+/* The paper's Figure 5/6: list_addh allocates a fresh cell on one path
+   only, so the confluence point sees irreconcilable allocation states
+   (kept on one path, only on the other), and the cell's next field can
+   escape incompletely defined. */
+typedef struct _elem {
+  int val;
+  /*@null@*/ struct _elem *next;
+} elem;
+
+elem *list_addh(/*@temp@*/ /*@null@*/ elem *argl, int x)
+{
+  elem *e;
+  elem *l = argl;
+
+  if (l != NULL) {
+    while (l->next != NULL) {
+      l = l->next;
+    }
+  }
+
+  e = (elem *) malloc(sizeof(elem));
+  if (e == NULL) {
+    exit(1);
+  }
+  e->val = x;
+
+  if (l != NULL) {
+    l->next = e;
+    e = argl;
+  }
+
+  return e;
+}

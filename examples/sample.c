@@ -1,0 +1,17 @@
+/* The paper's Figure 4: assigning temp storage to an only global both
+   leaks the global's old storage and stores a reference the caller may
+   release.  olclint reports two anomalies here:
+
+     $ olclint examples/sample.c
+     examples/sample.c:16,3: Only storage gname not released before assignment
+        examples/sample.c:12,24: Storage gname becomes only
+     examples/sample.c:16,3: Temp storage pname assigned to only storage gname
+        examples/sample.c:14,14: Storage pname becomes temp
+     2 code warnings
+*/
+extern /*@only@*/ char *gname;
+
+void setName(/*@temp@*/ char *pname)
+{
+  gname = pname;
+}

@@ -157,3 +157,40 @@ let flag_names =
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
     "guards"; "aliastrack";
   ]
+
+(* Levenshtein distance, one-row DP. *)
+let edit_distance a b =
+  let la = String.length a and lb = String.length b in
+  if la = 0 then lb
+  else if lb = 0 then la
+  else begin
+    let prev = Array.init (lb + 1) Fun.id in
+    let curr = Array.make (lb + 1) 0 in
+    for i = 1 to la do
+      curr.(0) <- i;
+      for j = 1 to lb do
+        let cost = if a.[i - 1] = b.[j - 1] then 0 else 1 in
+        curr.(j) <-
+          min (min (prev.(j) + 1) (curr.(j - 1) + 1)) (prev.(j - 1) + cost)
+      done;
+      Array.blit curr 0 prev 0 (lb + 1)
+    done;
+    prev.(lb)
+  end
+
+(** The known flag nearest to a mistyped name, if any is near enough to
+    be a plausible typo (distance at most 2, or 3 for long names). *)
+let suggest name =
+  let budget = if String.length name >= 8 then 3 else 2 in
+  let best =
+    List.fold_left
+      (fun best candidate ->
+        let d = edit_distance name candidate in
+        match best with
+        | Some (_, bd) when bd <= d -> best
+        | _ -> Some (candidate, d))
+      None flag_names
+  in
+  match best with
+  | Some (candidate, d) when d <= budget -> Some candidate
+  | _ -> None

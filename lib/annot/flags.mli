@@ -46,3 +46,10 @@ val apply_all : t -> string list -> (t, flag_error) result
 
 val flag_names : string list
 (** Every recognized flag name. *)
+
+val edit_distance : string -> string -> int
+(** Levenshtein distance between two strings. *)
+
+val suggest : string -> string option
+(** The known flag nearest to a mistyped name, when close enough to be a
+    plausible typo (used by the CLI's unknown-flag error path). *)

@@ -216,3 +216,57 @@ let ty_base = function Tbase b -> Some b | _ -> None
 let rec pointer_depth = function
   | Tptr t | Tarray (t, _) -> 1 + pointer_depth t
   | _ -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Size                                                                *)
+(* ------------------------------------------------------------------ *)
+
+(** Number of expression, statement and declaration nodes in a
+    translation unit — the telemetry [ast_nodes] counter ([-stats]).
+    Types and annotation comments are not counted. *)
+let size_tunit (tu : tunit) : int =
+  let rec expr e =
+    1
+    +
+    match e.e with
+    | Eint _ | Echar _ | Estring _ | Efloat _ | Eident _ | Esizeof_type _ -> 0
+    | Ecall (f, args) -> List.fold_left (fun n a -> n + expr a) (expr f) args
+    | Emember (b, _) | Earrow (b, _) | Ederef b | Eaddr b | Eunary (_, b)
+    | Epostincr b | Epostdecr b | Epreincr b | Epredecr b | Ecast (_, b)
+    | Esizeof_expr b ->
+        expr b
+    | Eindex (a, b) | Ebinary (_, a, b) | Eassign (_, a, b) | Ecomma (a, b) ->
+        expr a + expr b
+    | Econd (a, b, c) -> expr a + expr b + expr c
+  in
+  let rec init = function
+    | Iexpr e -> expr e
+    | Ilist is -> List.fold_left (fun n i -> n + init i) 0 is
+  in
+  let decl d = 1 + match d.d_init with Some i -> init i | None -> 0 in
+  let rec stmt s =
+    1
+    +
+    match s.s with
+    | Sskip | Sbreak | Scontinue | Sgoto _ -> 0
+    | Sexpr e | Sreturn (Some e) | Sassert e -> expr e
+    | Sreturn None -> 0
+    | Sdecl ds -> List.fold_left (fun n d -> n + decl d) 0 ds
+    | Sblock ss -> List.fold_left (fun n s -> n + stmt s) 0 ss
+    | Sif (c, t, f) ->
+        expr c + stmt t + (match f with Some f -> stmt f | None -> 0)
+    | Swhile (c, b) | Sdo (b, c) | Sswitch (c, b) | Scase (c, b) ->
+        expr c + stmt b
+    | Sfor (i, c, st, b) ->
+        (match i with Some s -> stmt s | None -> 0)
+        + (match c with Some e -> expr e | None -> 0)
+        + (match st with Some e -> expr e | None -> 0)
+        + stmt b
+    | Sdefault b | Slabel (_, b) -> stmt b
+  in
+  List.fold_left
+    (fun n td ->
+      match td with
+      | Tfundef f -> n + 1 + stmt f.f_body
+      | Tdecl ds -> n + List.fold_left (fun n d -> n + decl d) 0 ds)
+    0 tu.tu_decls

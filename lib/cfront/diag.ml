@@ -43,6 +43,63 @@ let severity_string = function
   | Warn -> "warning"
   | Info -> "info"
 
+(* ------------------------------------------------------------------ *)
+(* Categories                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let categories =
+  [ "null"; "definition"; "allocation"; "alias"; "process"; "frontend"; "other" ]
+
+(** Map a stable diagnostic code to its anomaly category — the grouping
+    the paper's Section 6 iteration reports counts by (null, definition,
+    allocation, aliasing), extended with the process checks (modifies
+    clauses, suppression accounting) and the frontend's own messages. *)
+let category_of_code = function
+  | "nullderef" | "nullpass" | "nullret" | "nullderive" | "globnull"
+  | "nullassign" ->
+      "null"
+  | "usedef" | "compdef" | "mustdefine" -> "definition"
+  | "mustfree" | "onlytrans" | "usereleased" | "branchstate" | "globstate"
+  | "compdestroy" | "freeoffset" | "freestatic" | "kepttrans" | "refcount" ->
+      "allocation"
+  | "aliasunique" | "modobserver" -> "alias"
+  | "modifies" | "noret" | "goto" | "call" | "suppress" -> "process"
+  | "lex" | "parse" | "ident" | "type" | "decl" | "annot" -> "frontend"
+  | _ -> "other"
+
+let category d = category_of_code d.code
+
+(* ------------------------------------------------------------------ *)
+(* JSON records                                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** The machine-readable record emitted by [olclint -json]
+    (see docs/diagnostics.md for the schema). *)
+let to_json ?(suppressed = false) d =
+  let module J = Telemetry.Json in
+  let loc_fields (l : Loc.t) =
+    [
+      ("file", J.String l.Loc.file);
+      ("line", J.Int l.Loc.line);
+      ("column", J.Int l.Loc.col);
+    ]
+  in
+  J.Obj
+    (loc_fields d.loc
+    @ [
+        ("severity", J.String (severity_string d.severity));
+        ("category", J.String (category d));
+        ("code", J.String d.code);
+        ("message", J.String d.text);
+        ("suppressed", J.Bool suppressed);
+        ( "notes",
+          J.List
+            (List.map
+               (fun n ->
+                 J.Obj (loc_fields n.nloc @ [ ("message", J.String n.ntext) ]))
+               d.notes) );
+      ])
+
 (** Render one diagnostic in the paper's style. *)
 let pp ppf d =
   Fmt.pf ppf "%a: %s" Loc.pp d.loc d.text;
@@ -60,7 +117,8 @@ module Collector = struct
 
   let emit c d =
     c.rev <- d :: c.rev;
-    c.count <- c.count + 1
+    c.count <- c.count + 1;
+    Telemetry.count (Telemetry.diag_counter_prefix ^ category d) 1
 
   let all c = List.rev c.rev
   let count c = c.count

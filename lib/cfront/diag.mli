@@ -35,6 +35,22 @@ val make :
 
 val severity_string : severity -> string
 
+val categories : string list
+(** The anomaly categories, in reporting order: null, definition,
+    allocation, alias, process, frontend, other. *)
+
+val category_of_code : string -> string
+(** The category a stable diagnostic code belongs to (the grouping of
+    the paper's Section 6 message counts). *)
+
+val category : t -> string
+
+val to_json : ?suppressed:bool -> t -> Telemetry.Json.t
+(** The machine-readable record emitted by [olclint -json]: an object
+    with [file]/[line]/[column]/[severity]/[category]/[code]/[message]/
+    [suppressed]/[notes] fields (docs/diagnostics.md documents the
+    schema). *)
+
 val pp : Format.formatter -> t -> unit
 (** Renders the primary line and its indented notes. *)
 

@@ -335,11 +335,16 @@ and read_operator lx : Token.kind =
 
 (** Tokenize the whole input.  The result always ends with an [Eof] token. *)
 let tokenize ~file src : Token.t list =
-  let lx = create ~file src in
-  let rec go acc =
-    let t = next lx in
-    match t.kind with Eof -> List.rev (t :: acc) | _ -> go (t :: acc)
-  in
-  go []
+  Telemetry.with_span ~file Telemetry.phase_lex (fun () ->
+      let lx = create ~file src in
+      let rec go acc n =
+        let t = next lx in
+        match t.kind with
+        | Eof ->
+            Telemetry.Counter.add Telemetry.c_tokens (n + 1);
+            List.rev (t :: acc)
+        | _ -> go (t :: acc) (n + 1)
+      in
+      go [] 0)
 
 let tokenize_array ~file src : Token.t array = Array.of_list (tokenize ~file src)

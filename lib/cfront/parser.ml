@@ -1068,9 +1068,15 @@ let parse_tunit p : Ast.tunit =
 let parse_string ?(spec_mode = false) ?(typedefs = []) ~file src : Ast.tunit
     =
   let toks = Lexer.tokenize_array ~file src in
-  let p = create ~spec_mode ~file toks in
-  List.iter (fun n -> Hashtbl.replace p.typedefs n ()) typedefs;
-  parse_tunit p
+  let tu =
+    Telemetry.with_span ~file Telemetry.phase_parse (fun () ->
+        let p = create ~spec_mode ~file toks in
+        List.iter (fun n -> Hashtbl.replace p.typedefs n ()) typedefs;
+        parse_tunit p)
+  in
+  if Telemetry.enabled () then
+    Telemetry.Counter.add Telemetry.c_ast_nodes (Ast.size_tunit tu);
+  tu
 
 (** Parse an LCL-style specification file: like {!parse_string} but with
     bare-word annotations enabled, matching the paper's notation

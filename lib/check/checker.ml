@@ -2572,6 +2572,10 @@ and exec_decl env ~loc st (d : Ast.decl) : Store.t =
 (** Check one function definition against its interface. *)
 let check_fundef (prog : Sema.program) (fs : Sema.funsig) (f : Ast.fundef) :
     unit =
+  Telemetry.Counter.tick Telemetry.c_procedures;
+  Telemetry.with_span ~file:fs.Sema.fs_loc.Loc.file ~label:fs.Sema.fs_name
+    Telemetry.phase_check
+  @@ fun () ->
   let env =
     {
       prog;

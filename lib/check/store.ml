@@ -54,8 +54,16 @@ let empty = { map = Sref.Map.empty; reachable = true }
 let find st r = Sref.Map.find_opt r st.map
 let mem st r = Sref.Map.mem r st.map
 let get st r = match find st r with Some s -> s | None -> unknown_refstate
-let set st r s = { st with map = Sref.Map.add r s st.map }
-let remove st r = { st with map = Sref.Map.remove r st.map }
+(* every store rewrite ticks the [store_ops] telemetry counter: the
+   paper's complexity claim is that checking is linear in store traffic,
+   so this is the number optimisation PRs watch *)
+let set st r s =
+  Telemetry.Counter.tick Telemetry.c_store_ops;
+  { st with map = Sref.Map.add r s st.map }
+
+let remove st r =
+  Telemetry.Counter.tick Telemetry.c_store_ops;
+  { st with map = Sref.Map.remove r st.map }
 let unreachable st = { st with reachable = false }
 let is_reachable st = st.reachable
 let bindings st = Sref.Map.bindings st.map

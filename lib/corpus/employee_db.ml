@@ -569,27 +569,15 @@ type counts = {
 }
 
 let categorize (r : Check.result) : counts =
-  let cat code =
-    match code with
-    | "nullderef" | "nullpass" | "nullret" | "nullderive" | "globnull"
-    | "nullassign" ->
-        `Null
-    | "usedef" | "compdef" | "mustdefine" -> `Def
-    | "mustfree" | "onlytrans" | "usereleased" | "branchstate" | "globstate"
-    | "compdestroy" | "freeoffset" | "freestatic" | "kepttrans" ->
-        `Alloc
-    | "aliasunique" -> `Alias
-    | _ -> `Other
-  in
   List.fold_left
     (fun c (d : Cfront.Diag.t) ->
       let c = { c with c_total = c.c_total + 1 } in
-      match cat d.Cfront.Diag.code with
-      | `Null -> { c with c_null = c.c_null + 1 }
-      | `Def -> { c with c_def = c.c_def + 1 }
-      | `Alloc -> { c with c_alloc = c.c_alloc + 1 }
-      | `Alias -> { c with c_alias = c.c_alias + 1 }
-      | `Other -> { c with c_other = c.c_other + 1 })
+      match Cfront.Diag.category d with
+      | "null" -> { c with c_null = c.c_null + 1 }
+      | "definition" -> { c with c_def = c.c_def + 1 }
+      | "allocation" -> { c with c_alloc = c.c_alloc + 1 }
+      | "alias" -> { c with c_alias = c.c_alias + 1 }
+      | _ -> { c with c_other = c.c_other + 1 })
     { c_null = 0; c_def = 0; c_alloc = 0; c_alias = 0; c_other = 0; c_total = 0 }
     r.Check.reports
 

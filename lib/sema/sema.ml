@@ -528,16 +528,19 @@ let process_fundef p (f : Ast.fundef) =
     checking shares one program environment, as LCLint does with interface
     libraries). *)
 let analyze ?(flags = Flags.default) ?into (tu : Ast.tunit) : program =
-  let p =
-    match into with Some p -> p | None -> create_program ~flags ~file:tu.tu_file ()
-  in
-  List.iter
-    (function
-      | Ast.Tdecl decls -> List.iter (process_decl p) decls
-      | Ast.Tfundef f -> process_fundef p f)
-    tu.tu_decls;
-  p.p_pragmas <- p.p_pragmas @ tu.tu_pragmas;
-  p
+  Telemetry.with_span ~file:tu.Ast.tu_file Telemetry.phase_sema (fun () ->
+      let p =
+        match into with
+        | Some p -> p
+        | None -> create_program ~flags ~file:tu.tu_file ()
+      in
+      List.iter
+        (function
+          | Ast.Tdecl decls -> List.iter (process_decl p) decls
+          | Ast.Tfundef f -> process_fundef p f)
+        tu.tu_decls;
+      p.p_pragmas <- p.p_pragmas @ tu.tu_pragmas;
+      p)
 
 (** Parse and analyze a source string in one step. *)
 let analyze_string ?(flags = Flags.default) ?(spec_mode = false) ?into ~file

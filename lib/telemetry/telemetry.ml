@@ -1,0 +1,297 @@
+(** Pipeline observability (see telemetry.mli for the contract). *)
+
+module Json = Json
+
+let enabled_flag = ref false
+let enabled () = !enabled_flag
+let set_enabled b = enabled_flag := b
+
+(* Wall clock; elapsed times are clamped at zero (see the mli). *)
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Spans                                                               *)
+(* ------------------------------------------------------------------ *)
+
+type span = {
+  sp_name : string;
+  sp_file : string option;
+  sp_label : string option;
+  sp_secs : float;
+  sp_children : span list;
+}
+
+type frame = {
+  f_name : string;
+  f_file : string option;
+  f_label : string option;
+  f_start : float;
+  mutable f_children : span list;  (** reverse completion order *)
+}
+
+let stack : frame list ref = ref []
+let roots : span list ref = ref []  (* reverse completion order *)
+
+let close_frame fr =
+  let sp =
+    {
+      sp_name = fr.f_name;
+      sp_file = fr.f_file;
+      sp_label = fr.f_label;
+      sp_secs = Float.max 0. (now () -. fr.f_start);
+      sp_children = List.rev fr.f_children;
+    }
+  in
+  (* pop to (and including) fr even if an exception skipped inner pops *)
+  let rec pop = function
+    | top :: rest when top == fr -> rest
+    | _ :: rest -> pop rest
+    | [] -> []
+  in
+  stack := pop !stack;
+  match !stack with
+  | parent :: _ -> parent.f_children <- sp :: parent.f_children
+  | [] -> roots := sp :: !roots
+
+let with_span ?file ?label name f =
+  if not !enabled_flag then f ()
+  else begin
+    let fr =
+      {
+        f_name = name;
+        f_file = file;
+        f_label = label;
+        f_start = now ();
+        f_children = [];
+      }
+    in
+    stack := fr :: !stack;
+    match f () with
+    | v ->
+        close_frame fr;
+        v
+    | exception e ->
+        close_frame fr;
+        raise e
+  end
+
+let spans () = List.rev !roots
+
+(* ------------------------------------------------------------------ *)
+(* Counters                                                            *)
+(* ------------------------------------------------------------------ *)
+
+module Counter = struct
+  type t = { c_name : string; mutable c_value : int }
+
+  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+
+  let make name =
+    match Hashtbl.find_opt registry name with
+    | Some c -> c
+    | None ->
+        let c = { c_name = name; c_value = 0 } in
+        Hashtbl.add registry name c;
+        c
+
+  let tick c = if !enabled_flag then c.c_value <- c.c_value + 1
+  let add c n = if !enabled_flag then c.c_value <- c.c_value + n
+  let value c = c.c_value
+  let name c = c.c_name
+end
+
+let count name n = if !enabled_flag then Counter.add (Counter.make name) n
+
+let counters () =
+  Hashtbl.fold
+    (fun name c acc -> if c.Counter.c_value <> 0 then (name, c.Counter.c_value) :: acc else acc)
+    Counter.registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* ------------------------------------------------------------------ *)
+(* Well-known names                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let phase_lex = "lex"
+let phase_parse = "parse"
+let phase_sema = "sema"
+let phase_check = "check"
+let phase_interp = "interp"
+
+let c_tokens = Counter.make "tokens"
+let c_ast_nodes = Counter.make "ast_nodes"
+let c_procedures = Counter.make "procedures_checked"
+let c_store_ops = Counter.make "store_ops"
+let diag_counter_prefix = "diag."
+
+let reset () =
+  stack := [];
+  roots := [];
+  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry
+
+(* ------------------------------------------------------------------ *)
+(* Aggregation                                                         *)
+(* ------------------------------------------------------------------ *)
+
+type phase_row = {
+  ph_file : string;
+  ph_phase : string;
+  ph_calls : int;
+  ph_secs : float;
+}
+
+let phase_order = [ phase_lex; phase_parse; phase_sema; phase_check; phase_interp ]
+
+let phase_rank p =
+  let rec go i = function
+    | [] -> List.length phase_order
+    | q :: rest -> if String.equal p q then i else go (i + 1) rest
+  in
+  go 0 phase_order
+
+(** Aggregate the whole span forest by (file, phase name).  Nested spans
+    of a DIFFERENT name each contribute their own time (so "parse"
+    includes the "lex" below it, like inclusive profiler time); phases
+    never nest under themselves. *)
+let phase_rows () =
+  let tbl : (string * string, int * float) Hashtbl.t = Hashtbl.create 16 in
+  let file_order : string list ref = ref [] in
+  let rec walk sp =
+    let file = Option.value sp.sp_file ~default:"" in
+    if not (List.mem file !file_order) then
+      file_order := file :: !file_order;
+    let key = (file, sp.sp_name) in
+    let calls, secs =
+      Option.value (Hashtbl.find_opt tbl key) ~default:(0, 0.)
+    in
+    Hashtbl.replace tbl key (calls + 1, secs +. sp.sp_secs);
+    List.iter walk sp.sp_children
+  in
+  List.iter walk (spans ());
+  let files = List.rev !file_order in
+  let file_rank f =
+    let rec go i = function
+      | [] -> max_int
+      | g :: rest -> if String.equal f g then i else go (i + 1) rest
+    in
+    go 0 files
+  in
+  Hashtbl.fold
+    (fun (file, phase) (calls, secs) acc ->
+      { ph_file = file; ph_phase = phase; ph_calls = calls; ph_secs = secs }
+      :: acc)
+    tbl []
+  |> List.sort (fun a b ->
+         match compare (file_rank a.ph_file) (file_rank b.ph_file) with
+         | 0 -> (
+             match compare (phase_rank a.ph_phase) (phase_rank b.ph_phase) with
+             | 0 -> String.compare a.ph_phase b.ph_phase
+             | c -> c)
+         | c -> c)
+
+(* ------------------------------------------------------------------ *)
+(* Reports                                                             *)
+(* ------------------------------------------------------------------ *)
+
+let pp_secs ppf s =
+  if s >= 1.0 then Format.fprintf ppf "%8.3f s " s
+  else if s >= 1e-3 then Format.fprintf ppf "%8.3f ms" (s *. 1e3)
+  else Format.fprintf ppf "%8.1f us" (s *. 1e6)
+
+(** Labelled spans (per-procedure checks), slowest first. *)
+let labelled_spans () =
+  let acc = ref [] in
+  let rec walk sp =
+    (match sp.sp_label with Some _ -> acc := sp :: !acc | None -> ());
+    List.iter walk sp.sp_children
+  in
+  List.iter walk (spans ());
+  List.sort (fun a b -> compare b.sp_secs a.sp_secs) !acc
+
+let pp_stats ppf () =
+  let rows = phase_rows () in
+  let phase_totals =
+    List.fold_left
+      (fun acc r ->
+        let calls, secs =
+          Option.value (List.assoc_opt r.ph_phase acc) ~default:(0, 0.)
+          |> fun (c, s) -> (c + r.ph_calls, s +. r.ph_secs)
+        in
+        (r.ph_phase, (calls, secs)) :: List.remove_assoc r.ph_phase acc)
+      [] rows
+    |> List.sort (fun (a, _) (b, _) -> compare (phase_rank a) (phase_rank b))
+  in
+  Format.fprintf ppf "-- telemetry ----------------------------------------@\n";
+  Format.fprintf ppf "phase totals:@\n";
+  List.iter
+    (fun (phase, (calls, secs)) ->
+      Format.fprintf ppf "  %-10s %a  (%d call%s)@\n" phase pp_secs secs calls
+        (if calls = 1 then "" else "s"))
+    phase_totals;
+  Format.fprintf ppf "counters:@\n";
+  List.iter
+    (fun (name, v) -> Format.fprintf ppf "  %-24s %d@\n" name v)
+    (counters ());
+  (match labelled_spans () with
+  | [] -> ()
+  | slow ->
+      Format.fprintf ppf "slowest procedures:@\n";
+      List.iteri
+        (fun i sp ->
+          if i < 5 then
+            Format.fprintf ppf "  %-24s %a  (%s)@\n"
+              (Option.value sp.sp_label ~default:"?")
+              pp_secs sp.sp_secs
+              (Option.value sp.sp_file ~default:""))
+        slow);
+  Format.fprintf ppf "-----------------------------------------------------@\n"
+
+let pp_timings ppf () =
+  Format.fprintf ppf "-- timings ------------------------------------------@\n";
+  Format.fprintf ppf "  %-28s %-8s %6s %11s@\n" "file" "phase" "calls" "time";
+  List.iter
+    (fun r ->
+      Format.fprintf ppf "  %-28s %-8s %6d %a@\n"
+        (if r.ph_file = "" then "-" else r.ph_file)
+        r.ph_phase r.ph_calls pp_secs r.ph_secs)
+    (phase_rows ());
+  Format.fprintf ppf "-----------------------------------------------------@\n"
+
+(* ------------------------------------------------------------------ *)
+(* JSON                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let rec json_of_span sp =
+  Json.Obj
+    ([ ("name", Json.String sp.sp_name) ]
+    @ (match sp.sp_file with
+      | Some f -> [ ("file", Json.String f) ]
+      | None -> [])
+    @ (match sp.sp_label with
+      | Some l -> [ ("label", Json.String l) ]
+      | None -> [])
+    @ [ ("seconds", Json.Float sp.sp_secs) ]
+    @
+    match sp.sp_children with
+    | [] -> []
+    | cs -> [ ("children", Json.List (List.map json_of_span cs)) ])
+
+let to_json () =
+  Json.Obj
+    [
+      ( "phases",
+        Json.List
+          (List.map
+             (fun r ->
+               Json.Obj
+                 [
+                   ("file", Json.String r.ph_file);
+                   ("phase", Json.String r.ph_phase);
+                   ("calls", Json.Int r.ph_calls);
+                   ("seconds", Json.Float r.ph_secs);
+                 ])
+             (phase_rows ())) );
+      ( "counters",
+        Json.Obj (List.map (fun (k, v) -> (k, Json.Int v)) (counters ())) );
+      ("spans", Json.List (List.map json_of_span (spans ())));
+    ]

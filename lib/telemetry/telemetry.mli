@@ -1,0 +1,117 @@
+(** Pipeline observability: per-phase timers, counters and hierarchical
+    spans, with near-zero overhead when disabled.
+
+    Every stage of the checking pipeline (lex, parse, sema, per-procedure
+    check, interpretation) wraps its work in {!with_span}; hot paths bump
+    {!Counter.t} handles.  All hooks first test a single [bool ref] — when
+    telemetry is off (the default) an instrumented call costs one load and
+    one branch, no clock reads, no allocation — so instrumentation can
+    stay in release builds, exactly like LCLint's own [-stats] style
+    accounting.
+
+    Timers use the wall clock; elapsed times are clamped at zero so a
+    clock step backwards can never produce a negative (non-monotonic)
+    phase time.  The recorder is process-global and not thread-safe — the
+    checker is single-threaded by design (one procedure at a time,
+    paper Section 5).
+
+    {!Json} re-exports the hand-rolled JSON encoder shared by the
+    [-json] diagnostic records and {!to_json}. *)
+
+module Json = Json
+
+val enabled : unit -> bool
+val set_enabled : bool -> unit
+
+val reset : unit -> unit
+(** Drop all recorded spans and zero every counter (registrations
+    survive). *)
+
+(** {1 Spans} *)
+
+(** A completed span: a named, timed region of the pipeline.  [sp_file]
+    carries the source file a phase worked on; [sp_label] an optional
+    fine-grained tag (the procedure name for per-procedure check
+    spans). *)
+type span = {
+  sp_name : string;
+  sp_file : string option;
+  sp_label : string option;
+  sp_secs : float;
+  sp_children : span list;  (** completion order *)
+}
+
+val with_span : ?file:string -> ?label:string -> string -> (unit -> 'a) -> 'a
+(** [with_span name f] times [f ()] and records it as a child of the
+    innermost open span (or as a root).  Exceptions close the span and
+    propagate.  When disabled this is exactly [f ()]. *)
+
+val spans : unit -> span list
+(** Completed root spans, in completion order. *)
+
+(** {1 Counters} *)
+
+module Counter : sig
+  type t
+
+  val make : string -> t
+  (** Register (or look up) the counter named [name].  Call once at
+      module initialization and keep the handle: {!tick} on a handle is
+      branch-plus-increment, no table lookup. *)
+
+  val tick : t -> unit
+  val add : t -> int -> unit
+  val value : t -> int
+  val name : t -> string
+end
+
+val count : string -> int -> unit
+(** Dynamic-name counting (one table lookup when enabled); used for
+    open-ended families like per-category diagnostic counts. *)
+
+val counters : unit -> (string * int) list
+(** Every registered counter with a non-zero value, sorted by name. *)
+
+(** {1 Well-known names}
+
+    The pipeline's standard phase and counter names, shared by the
+    instrumentation sites and the reporters. *)
+
+val phase_lex : string
+val phase_parse : string
+val phase_sema : string
+val phase_check : string
+val phase_interp : string
+
+val c_tokens : Counter.t
+val c_ast_nodes : Counter.t
+val c_procedures : Counter.t
+val c_store_ops : Counter.t
+val diag_counter_prefix : string
+(** Diagnostic counts are recorded as [diag.<category>]. *)
+
+(** {1 Reports} *)
+
+(** One row of the per-file per-phase aggregation. *)
+type phase_row = {
+  ph_file : string;
+  ph_phase : string;
+  ph_calls : int;
+  ph_secs : float;
+}
+
+val phase_rows : unit -> phase_row list
+(** Aggregate every recorded span by (file, name), ordered by first
+    appearance of the file and the pipeline order of phases. *)
+
+val pp_stats : Format.formatter -> unit -> unit
+(** Human summary: counters, total time per phase, and the slowest
+    labelled spans (procedures). *)
+
+val pp_timings : Format.formatter -> unit -> unit
+(** Per-file per-phase table of {!phase_rows}. *)
+
+val to_json : unit -> Json.t
+(** The whole recording — phases, counters and the span forest — as one
+    JSON object (the benchmark harness writes this as
+    [BENCH_phases.json]). *)

@@ -5,6 +5,7 @@ set -u
 
 OLCLINT="$1"
 OLCRUN="$2"
+EXAMPLES="${3:-examples}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -60,6 +61,11 @@ expect_contains "$tmp/out" "Fresh storage p returned as unqualified result" "all
 
 "$OLCLINT" -f=-bogus "$tmp/clean.c" > "$tmp/out" 2>&1
 [ $? -eq 2 ] || fail "unknown flag should exit 2"
+
+"$OLCLINT" -f=-nulll "$tmp/clean.c" > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "mistyped flag should exit 2"
+expect_contains "$tmp/out" "did you mean 'null'?" "flag suggestion"
+grep -q "allimponly" "$tmp/out" && fail "unknown-flag error should not dump the flag list"
 
 # --- interface library round trip -----------------------------------------
 cat > "$tmp/lib.c" <<'EOF'
@@ -175,4 +181,54 @@ CEOF
 [ $? -eq 1 ] || fail "modifies violation should exit 1"
 expect_contains "$tmp/out" "Undocumented modification of g2" "modifies message"
 
+# --- telemetry: -json / -stats / -timings on the example corpus -----------
+"$OLCLINT" -json "$EXAMPLES/sample.c" > "$tmp/ndjson" 2> "$tmp/err"
+[ $? -eq 1 ] || fail "-json should keep the exit code (1 on anomalies)"
+[ "$(wc -l < "$tmp/ndjson")" -eq 2 ] || fail "-json should emit one record per diagnostic"
+# every stdout line is a JSON object with the required fields
+while IFS= read -r line; do
+  case "$line" in
+    "{\"file\":"*"}") ;;
+    *) fail "-json line is not a JSON object: $line" ;;
+  esac
+  for field in '"line":' '"column":' '"severity":' '"category":' '"code":' '"message":' '"suppressed":'; do
+    case "$line" in
+      *"$field"*) ;;
+      *) fail "-json record missing $field: $line" ;;
+    esac
+  done
+done < "$tmp/ndjson"
+grep -q '"code":"mustfree"' "$tmp/ndjson" || fail "-json should carry the mustfree code"
+grep -q '"category":"allocation"' "$tmp/ndjson" || fail "-json should carry the category"
+expect_contains "$tmp/err" "2 code warnings" "-json moves the summary to stderr"
+grep -q "code warnings" "$tmp/ndjson" && fail "-json stdout must stay pure NDJSON"
+
+"$OLCLINT" -json "$EXAMPLES/clean.c" > "$tmp/ndjson" 2> "$tmp/err" \
+  || fail "-json on a clean file should exit 0"
+[ -s "$tmp/ndjson" ] && fail "-json on a clean file should emit no records"
+
+"$OLCLINT" -q -stats "$EXAMPLES/sample.c" "$EXAMPLES/list.c" > "$tmp/out" 2> "$tmp/err"
+expect_contains "$tmp/err" "phase totals:" "-stats phase section"
+expect_contains "$tmp/err" "tokens" "-stats token counter"
+expect_contains "$tmp/err" "procedures_checked" "-stats procedure counter"
+grep -q "phase totals:" "$tmp/out" && fail "-stats must go to stderr"
+
+"$OLCLINT" -q -timings "$EXAMPLES/sample.c" > "$tmp/out" 2> "$tmp/err"
+for phase in lex parse sema check; do
+  grep -E "sample\.c +$phase +1 +[0-9]" "$tmp/err" > /dev/null \
+    || { cat "$tmp/err" >&2; fail "-timings should report a non-zero $phase time for sample.c"; }
+done
+
+# without telemetry flags, output is byte-identical and stderr stays empty
+"$OLCLINT" "$EXAMPLES/sample.c" > "$tmp/plain1" 2> "$tmp/err"
+[ -s "$tmp/err" ] && fail "plain run should write nothing to stderr"
+"$OLCLINT" "$EXAMPLES/sample.c" > "$tmp/plain2" 2>/dev/null
+cmp -s "$tmp/plain1" "$tmp/plain2" || fail "plain output should be deterministic"
+
+"$OLCRUN" -stats "$EXAMPLES/clean.c" > "$tmp/out" 2> "$tmp/err" \
+  || fail "olcrun -stats on clean.c should exit 0"
+expect_contains "$tmp/err" "interp" "olcrun -stats interp phase"
+
 echo "cli tests passed"
+
+# (end)
