@@ -409,6 +409,152 @@ let phases () =
   Telemetry.reset ()
 
 (* ------------------------------------------------------------------ *)
+(* E9: annotation inference vs the hand annotations                    *)
+(* ------------------------------------------------------------------ *)
+
+(* The declared annotations of the kinds inference can synthesize, per
+   interface slot of every defined function.  Implicit [only] (from the
+   allimponly convention) is excluded — it was not written by hand. *)
+let declared_slots (prog : Sema.program) : (string * string * string) list =
+  let words (e : Sema.eannot) =
+    let an = e.Sema.an in
+    (match an.Annot.an_null with
+    | Some Annot.Null -> [ "null" ]
+    | Some Annot.NotNull -> [ "notnull" ]
+    | _ -> [])
+    @ (match an.Annot.an_def with Some Annot.Out -> [ "out" ] | _ -> [])
+    @
+    match an.Annot.an_alloc with
+    | Some Annot.Only when not e.Sema.alloc_implicit -> [ "only" ]
+    | _ -> []
+  in
+  List.concat_map
+    (fun ((fs : Sema.funsig), _) ->
+      List.map (fun w -> (fs.Sema.fs_name, "ret", w)) (words fs.Sema.fs_ret_annots)
+      @ List.concat
+          (List.mapi
+             (fun i (p : Sema.param) ->
+               List.map
+                 (fun w -> (fs.Sema.fs_name, Printf.sprintf "p%d" i, w))
+                 (words p.Sema.pr_annots))
+             fs.Sema.fs_params))
+    (Sema.fundefs prog)
+
+let slot_key (s : Infer.slot) =
+  match s with
+  | Infer.Sret -> "ret"
+  | Infer.Sparam i -> Printf.sprintf "p%d" i
+
+let analyze_files ~flags files =
+  let prog = Stdspec.environment ~flags () in
+  List.iter
+    (fun (name, text) ->
+      let typedefs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+      in
+      let tu = Cfront.Parser.parse_string ~typedefs ~file:name text in
+      ignore (Sema.analyze ~flags ~into:prog tu))
+    files;
+  prog
+
+let infer_exp () =
+  section "E9: annotation inference vs the hand annotations";
+  row "  Hand annotations hidden with Infer.strip_annotations, then\n";
+  row "  re-derived by the call-graph fixpoint; agreement is measured per\n";
+  row "  (function, slot, word) against the declared only/notnull/null/out.\n";
+  row "  Precision counts inferred-and-declared over inferred (inference\n";
+  row "  may also prove facts nobody wrote down, which score against it);\n";
+  row "  recall counts them over declared.  Written to BENCH_infer.json.\n\n";
+  let flags = E.paper_flags in
+  let sources =
+    [
+      ("fig2_sample_null", [ ("sample.c", Corpus.Figures.fig2_sample_null) ]);
+      ("fig3_sample_fixed", [ ("sample.c", Corpus.Figures.fig3_sample_fixed) ]);
+      ( "fig4_sample_only_temp",
+        [ ("sample.c", Corpus.Figures.fig4_sample_only_temp) ] );
+      ("fig5_list_addh", [ ("list.c", Corpus.Figures.fig5_list_addh) ]);
+      ("fig7_erc_create", [ ("erc.c", Corpus.Figures.fig7_erc_create) ]);
+      ( "fig8_employee_setname",
+        [ ("employee.c", Corpus.Figures.fig8_employee_setname) ] );
+      ( "employee_db",
+        List.map (fun (f : E.file) -> (f.E.name, f.E.text)) (E.stage E.max_stage)
+      );
+    ]
+  in
+  row "  %-24s %9s %9s %9s %10s %7s\n" "source" "declared" "inferred"
+    "matched" "precision" "recall";
+  let totals = ref (0, 0, 0) in
+  let records =
+    List.map
+      (fun (name, files) ->
+        let declared = declared_slots (analyze_files ~flags files) in
+        let stripped =
+          List.map (fun (n, t) -> (n, Infer.strip_annotations t)) files
+        in
+        let prog = analyze_files ~flags stripped in
+        let outcome = Infer.run prog in
+        let inferred =
+          List.map
+            (fun (fd : Infer.finding) ->
+              (fd.Infer.fd_fun, slot_key fd.Infer.fd_slot, fd.Infer.fd_word))
+            outcome.Infer.out_findings
+        in
+        let matched = List.filter (fun k -> List.mem k declared) inferred in
+        let nd = List.length declared
+        and ni = List.length inferred
+        and nm = List.length matched in
+        let ratio num den = if den = 0 then 1.0 else float num /. float den in
+        let td, ti, tm = !totals in
+        totals := (td + nd, ti + ni, tm + nm);
+        row "  %-24s %9d %9d %9d %10.2f %7.2f\n" name nd ni nm (ratio nm ni)
+          (ratio nm nd);
+        let triple (f, s, w) =
+          Telemetry.Json.(
+            Obj [ ("fun", String f); ("slot", String s); ("word", String w) ])
+        in
+        Telemetry.Json.(
+          Obj
+            [
+              ("source", String name);
+              ("declared", List (Stdlib.List.map triple declared));
+              ("inferred", List (Stdlib.List.map triple inferred));
+              ("matched", Int nm);
+              ("precision", Float (ratio nm ni));
+              ("recall", Float (ratio nm nd));
+              ("rounds", Int outcome.Infer.out_rounds);
+              ("sccs", Int outcome.Infer.out_sccs);
+              ("procedures", Int outcome.Infer.out_procedures);
+            ]))
+      sources
+  in
+  let td, ti, tm = !totals in
+  let ratio num den = if den = 0 then 1.0 else float num /. float den in
+  row "  %-24s %9d %9d %9d %10.2f %7.2f\n" "overall" td ti tm (ratio tm ti)
+    (ratio tm td);
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "infer");
+          ("sources", List records);
+          ( "overall",
+            Obj
+              [
+                ("declared", Int td);
+                ("inferred", Int ti);
+                ("matched", Int tm);
+                ("precision", Float (ratio tm ti));
+                ("recall", Float (ratio tm td));
+              ] );
+        ])
+  in
+  let oc = open_out "BENCH_infer.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_infer.json\n"
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
 (* ------------------------------------------------------------------ *)
 
@@ -502,6 +648,7 @@ let experiments =
     ("annot_burden", annot_burden);
     ("ablation", ablation);
     ("phases", phases);
+    ("infer", infer_exp);
     ("micro", micro);
   ]
 

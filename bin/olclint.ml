@@ -20,7 +20,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
-    timings json =
+    timings json infer_report =
   let flags =
     match Annot.Flags.(apply_all default) flag_args with
     | Ok f -> f
@@ -67,6 +67,31 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
   | Sys_error msg ->
       Printf.eprintf "olclint: %s\n" msg;
       exit 2);
+  (* Annotation inference runs between interface extraction and
+     checking: accepted annotations are installed into the symbol table,
+     so [check_program] below sees them exactly as if they were
+     declared.  [-infer] is report mode — print the synthesized
+     prototypes and stop; [+inferconstraints] keeps checking. *)
+  let inference =
+    if infer_report || flags.Annot.Flags.infer_constraints then
+      Some (Infer.run prog)
+    else None
+  in
+  match (infer_report, inference) with
+  | true, Some outcome ->
+      let plural n = if n = 1 then "" else "s" in
+      print_string (Infer.render prog outcome);
+      Printf.printf "%d annotation%s inferred for %d procedure%s (%d round%s)\n"
+        (List.length outcome.Infer.out_findings)
+        (plural (List.length outcome.Infer.out_findings))
+        outcome.Infer.out_procedures
+        (plural outcome.Infer.out_procedures)
+        outcome.Infer.out_rounds
+        (plural outcome.Infer.out_rounds);
+      if timings then Format.eprintf "%a%!" Telemetry.pp_timings ();
+      if stats then Format.eprintf "%a%!" Telemetry.pp_stats ();
+      0
+  | _ ->
   Check.Checker.check_program prog;
   let table, errs = Check.Suppress.of_pragmas prog.Sema.p_pragmas in
   List.iter (Cfront.Diag.Collector.emit prog.Sema.diags) errs;
@@ -166,6 +191,17 @@ let json_arg =
            $(i,suppressed: true)); the summary line moves to stderr.  See \
            docs/diagnostics.md for the record schema.")
 
+let infer_arg =
+  Arg.(
+    value & flag
+    & info [ "infer" ]
+        ~doc:
+          "Infer Appendix-B annotations (only, notnull, null, out) for the \
+           unannotated pointer slots of defined functions and print the \
+           annotated prototypes instead of checking.  Use \
+           $(b,+inferconstraints) to infer and then check against the \
+           synthesized annotations.  See docs/inference.md.")
+
 let cmd =
   let doc =
     "static detection of dynamic memory errors (LCLint-style checker)"
@@ -175,18 +211,23 @@ let cmd =
     Term.(
       const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
       $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
-      $ json_arg)
+      $ json_arg $ infer_arg)
 
-(* LCLint heritage: tolerate single-dash spellings of the long telemetry
-   flags ([-json], [-stats], [-timings]) by rewriting them before cmdliner
-   (which reserves single dashes for short options) sees them. *)
+(* LCLint heritage: tolerate single-dash spellings of the long flags
+   ([-json], [-stats], [-timings], [-infer]) by rewriting them before
+   cmdliner (which reserves single dashes for short options) sees them,
+   and accept bare [+name] checking flags ([olclint +inferconstraints
+   f.c]) by expanding them to [-f +name]. *)
 let argv =
-  Array.map
-    (function
-      | "-stats" -> "--stats"
-      | "-timings" -> "--timings"
-      | "-json" -> "--json"
-      | a -> a)
-    Sys.argv
+  Array.of_list
+    (List.concat_map
+       (function
+         | "-stats" -> [ "--stats" ]
+         | "-timings" -> [ "--timings" ]
+         | "-json" -> [ "--json" ]
+         | "-infer" -> [ "--infer" ]
+         | a when String.length a > 1 && a.[0] = '+' -> [ "-f"; a ]
+         | a -> [ a ])
+       (Array.to_list Sys.argv))
 
 let () = exit (Cmd.eval' ~argv cmd)

@@ -1,0 +1,64 @@
+/* The paper's list example with every annotation stripped, extended
+   with the constructor, destructor and client that the inference
+   walkthrough in docs/inference.md uses.
+
+     olclint -infer examples/list_plain.c          # print inferred annotations
+     olclint +inferconstraints examples/list_plain.c   # infer, then check
+
+   Checking with +inferconstraints reports strictly fewer spurious
+   warnings than checking the file as-is: once inference proves that
+   list_free consumes its argument (only) and that elem_create returns
+   fresh never-null storage (only, notnull), the transfer-to-free and
+   leaked-storage complaints in list_free and use disappear. */
+typedef struct _elem {
+  int val;
+  struct _elem *next;
+} elem;
+
+elem *elem_create(int x)
+{
+  elem *e = (elem *) malloc(sizeof(elem));
+  if (e == NULL) {
+    exit(1);
+  }
+  e->val = x;
+  e->next = NULL;
+  return e;
+}
+
+void list_free(elem *l)
+{
+  if (l != NULL) {
+    list_free(l->next);
+    free(l);
+  }
+}
+
+elem *list_addh(elem *argl, int x)
+{
+  elem *e;
+  elem *l = argl;
+
+  if (l != NULL) {
+    while (l->next != NULL) {
+      l = l->next;
+    }
+  }
+
+  e = elem_create(x);
+
+  if (l != NULL) {
+    l->next = e;
+    e = argl;
+  }
+
+  return e;
+}
+
+int use(void)
+{
+  elem *l = elem_create(3);
+  l = list_addh(l, 4);
+  list_free(l);
+  return 0;
+}

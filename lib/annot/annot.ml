@@ -64,6 +64,12 @@ type set = {
   an_killref : bool;  (** parameter consumes one reference *)
   an_tempref : bool;  (** parameter uses the object without affecting the
                           count *)
+  an_inferred : bool;
+      (** provenance: set when any member of this set was synthesized by
+          the annotation-inference pass rather than written by the
+          programmer.  Never parsed from or rendered back to source
+          ({!to_words} omits it); diagnostics use it to say "inferred,
+          not declared". *)
 }
 [@@deriving eq, show]
 
@@ -84,9 +90,13 @@ let empty =
     an_newref = false;
     an_killref = false;
     an_tempref = false;
+    an_inferred = false;
   }
 
 let is_empty s = equal_set s empty
+
+let mark_inferred s = { s with an_inferred = true }
+let is_inferred s = s.an_inferred
 
 (** Result of parsing one annotation word. *)
 type word =
@@ -233,6 +243,7 @@ let override ~(base : set) ~(decl : set) : set =
     an_newref = decl.an_newref || base.an_newref;
     an_killref = decl.an_killref || base.an_killref;
     an_tempref = decl.an_tempref || base.an_tempref;
+    an_inferred = decl.an_inferred || base.an_inferred;
   }
 
 (** Incompatible combinations across categories (paper: "certain

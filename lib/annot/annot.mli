@@ -53,6 +53,9 @@ type set = {
   an_newref : bool;
   an_killref : bool;
   an_tempref : bool;
+  an_inferred : bool;
+      (** provenance: set was (partly) synthesized by annotation inference,
+          not declared in source; {!to_words} never renders it *)
 }
 
 val equal_set : set -> set -> bool
@@ -61,6 +64,11 @@ val show_set : set -> string
 
 val empty : set
 val is_empty : set -> bool
+
+val mark_inferred : set -> set
+(** Stamp the inference-provenance bit (see {!type-set}). *)
+
+val is_inferred : set -> bool
 
 (** One parsed annotation word. *)
 type word =

@@ -49,6 +49,9 @@ type t = {
       (** recognize null tests in conditions (off only for ablation) *)
   alias_tracking : bool;
       (** track alias images across assignments (off only for ablation) *)
+  infer_constraints : bool;
+      (** run interprocedural annotation inference before checking and use
+          the synthesized annotations to refine warnings ([+inferconstraints]) *)
 }
 
 let default =
@@ -70,6 +73,7 @@ let default =
     warn_unrecognized_annot = true;
     guard_refinement = true;
     alias_tracking = true;
+    infer_constraints = false;
   }
 
 (** The paper's [-allimponly] run (Section 6): no implicit [only]
@@ -143,6 +147,7 @@ let apply (f : t) (s : string) : (t, flag_error) result =
   | "annotwarn" -> Ok { f with warn_unrecognized_annot = set }
   | "guards" -> Ok { f with guard_refinement = set }
   | "aliastrack" -> Ok { f with alias_tracking = set }
+  | "inferconstraints" -> Ok { f with infer_constraints = set }
   | _ -> Error (Unknown_flag name)
 
 let apply_all (f : t) (ss : string list) : (t, flag_error) result =
@@ -155,7 +160,7 @@ let flag_names =
     "allimponly"; "imponlyreturns"; "imponlyglobals"; "imponlyfields";
     "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
-    "guards"; "aliastrack";
+    "guards"; "aliastrack"; "inferconstraints";
   ]
 
 (* Levenshtein distance, one-row DP. *)

@@ -24,6 +24,8 @@ type t = {
   warn_unrecognized_annot : bool;
   guard_refinement : bool;
   alias_tracking : bool;
+  infer_constraints : bool;
+      (** [+inferconstraints]: run annotation inference before checking *)
 }
 
 val default : t

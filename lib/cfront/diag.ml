@@ -30,13 +30,20 @@ type t = {
           used by tests, by suppression accounting and by the flag system *)
   text : string;
   notes : note list;
+  proc : string option;
+      (** the procedure whose check produced the message, when known *)
+  inferred : bool;
+      (** the check that produced the message consulted at least one
+          inference-synthesized annotation (so the message depends on an
+          inferred, not declared, interface) *)
 }
 [@@deriving eq, show]
 
 let note ~loc text = { nloc = loc; ntext = text }
 
-let make ?(severity = Err) ?(notes = []) ~loc ~code text =
-  { loc; severity; code; text; notes }
+let make ?(severity = Err) ?(notes = []) ?proc ?(inferred = false) ~loc ~code
+    text =
+  { loc; severity; code; text; notes; proc; inferred }
 
 let severity_string = function
   | Err -> "error"
@@ -92,6 +99,12 @@ let to_json ?(suppressed = false) d =
         ("code", J.String d.code);
         ("message", J.String d.text);
         ("suppressed", J.Bool suppressed);
+      ]
+    @ (match d.proc with
+      | Some p -> [ ("procedure", J.String p) ]
+      | None -> [])
+    @ [
+        ("inferred", J.Bool d.inferred);
         ( "notes",
           J.List
             (List.map

@@ -23,6 +23,10 @@ type t = {
           ...) used by tests, suppression accounting and the flag system *)
   text : string;
   notes : note list;
+  proc : string option;
+      (** procedure whose check produced the message, when known *)
+  inferred : bool;
+      (** the producing check consulted an inference-synthesized annotation *)
 }
 
 val equal : t -> t -> bool
@@ -30,8 +34,8 @@ val show : t -> string
 
 val note : loc:Loc.t -> string -> note
 val make :
-  ?severity:severity -> ?notes:note list -> loc:Loc.t -> code:string ->
-  string -> t
+  ?severity:severity -> ?notes:note list -> ?proc:string -> ?inferred:bool ->
+  loc:Loc.t -> code:string -> string -> t
 
 val severity_string : severity -> string
 
@@ -48,8 +52,9 @@ val category : t -> string
 val to_json : ?suppressed:bool -> t -> Telemetry.Json.t
 (** The machine-readable record emitted by [olclint -json]: an object
     with [file]/[line]/[column]/[severity]/[category]/[code]/[message]/
-    [suppressed]/[notes] fields (docs/diagnostics.md documents the
-    schema). *)
+    [suppressed]/[inferred]/[notes] fields, plus [procedure] when the
+    message came from a procedure check (docs/diagnostics.md documents
+    the schema). *)
 
 val pp : Format.formatter -> t -> unit
 (** Renders the primary line and its indented notes. *)

@@ -73,11 +73,29 @@ type localinfo = {
 
 type scope = { mutable vars : (string * localinfo) list }
 
+(** Raw abstract state at one procedure exit, observed before the exit
+    checks mark error states.  This is the data annotation inference
+    abstracts into per-procedure summaries (return never-null, return
+    always carries an obligation, parameter consumed on every path). *)
+type exit_info = {
+  xi_loc : Loc.t;
+  xi_ret : (nullstate * allocstate) option;
+      (** the returned value's states, when a pointer value is returned *)
+  xi_params : (defstate * allocstate) array;
+      (** the externally visible view of each parameter, by index *)
+}
+
 type env = {
   prog : Sema.program;
   flags : Flags.t;
   fs : Sema.funsig;
   diags : Diag.Collector.t;
+  exit_obs : (exit_info -> unit) option;
+      (** called once per reachable procedure exit (summary extraction) *)
+  proc_inferred : bool;
+      (** this check consults at least one inferred annotation (own
+          signature or any direct callee's), so its messages carry the
+          provenance mark *)
   mutable scopes : scope list;  (** innermost first *)
   mutable breaks : Store.t list list;  (** per enclosing breakable construct *)
   mutable continues : Store.t list list;
@@ -90,7 +108,8 @@ let emit env ?(severity = Diag.Err) ?(notes = []) ~loc ~code fmt =
   Fmt.kstr
     (fun text ->
       Diag.Collector.emit env.diags
-        (Diag.make ~severity ~notes ~loc ~code text))
+        (Diag.make ~severity ~notes ~proc:env.fs.Sema.fs_name
+           ~inferred:env.proc_inferred ~loc ~code text))
     fmt
 
 let push_scope env = env.scopes <- { vars = [] } :: env.scopes
@@ -2062,6 +2081,28 @@ let leak_check_scope env st (vars : (string * localinfo) list) ~loc : Store.t =
     implied by the annotations on its return value, parameters, and the
     global variables it uses"). *)
 let check_exit env st ~(ret : value option) ~loc : Store.t =
+  (* summary observation first: raw states, before exit checks rewrite
+     them to error markers *)
+  (match env.exit_obs with
+  | Some obs ->
+      let xi_ret =
+        match ret with
+        | Some v when Ctype.is_pointer env.fs.Sema.fs_ret ->
+            Some (v.v_null, v.v_alloc)
+        | _ -> None
+      in
+      let xi_params =
+        Array.of_list
+          (List.mapi
+             (fun i (p : Sema.param) ->
+               let s =
+                 Store.get st (Sref.Root (Sref.Rparam (i, p.Sema.pr_name)))
+               in
+               (s.Store.rs_def, s.Store.rs_alloc))
+             env.fs.Sema.fs_params)
+      in
+      obs { xi_loc = loc; xi_ret; xi_params }
+  | None -> ());
   if Sys.getenv_opt "OLCLINT_DEBUG" <> None then
     Fmt.epr "--- store at exit of %s (%a) ---@
 %a@
@@ -2569,19 +2610,42 @@ and exec_decl env ~loc st (d : Ast.decl) : Store.t =
 (* Function and program checking                                       *)
 (* ------------------------------------------------------------------ *)
 
-(** Check one function definition against its interface. *)
-let check_fundef (prog : Sema.program) (fs : Sema.funsig) (f : Ast.fundef) :
-    unit =
+(** Does this signature carry any inference-synthesized annotation? *)
+let funsig_inferred (fs : Sema.funsig) : bool =
+  Annot.is_inferred fs.Sema.fs_ret_annots.Sema.an
+  || List.exists
+       (fun (p : Sema.param) -> Annot.is_inferred p.Sema.pr_annots.Sema.an)
+       fs.Sema.fs_params
+
+(** Check one function definition against its interface.
+
+    [diags] redirects the procedure's messages away from the program's
+    collector (annotation inference probes candidate annotations into a
+    scratch collector); [exit_obs] observes the raw abstract state at
+    every reachable exit (summary extraction). *)
+let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
+    (f : Ast.fundef) : unit =
   Telemetry.Counter.tick Telemetry.c_procedures;
   Telemetry.with_span ~file:fs.Sema.fs_loc.Loc.file ~label:fs.Sema.fs_name
     Telemetry.phase_check
   @@ fun () ->
+  let proc_inferred =
+    funsig_inferred fs
+    || List.exists
+         (fun callee ->
+           match Hashtbl.find_opt prog.Sema.p_funcs callee with
+           | Some g -> funsig_inferred g
+           | None -> false)
+         (Sema.calls_of_fundef f)
+  in
   let env =
     {
       prog;
       flags = prog.Sema.flags;
       fs;
-      diags = prog.Sema.diags;
+      diags = Option.value diags ~default:prog.Sema.diags;
+      exit_obs;
+      proc_inferred;
       scopes = [];
       breaks = [];
       continues = [];

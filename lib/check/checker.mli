@@ -12,8 +12,25 @@
     Diagnostics accumulate in the program's collector; most callers want
     the {!Check} facade instead. *)
 
-val check_fundef : Sema.program -> Sema.funsig -> Cfront.Ast.fundef -> unit
-(** Check one function definition against its interface. *)
+(** Raw abstract state at one procedure exit, observed before the exit
+    checks replace anomalous states with error markers.  Annotation
+    inference abstracts these observations into per-procedure summaries. *)
+type exit_info = {
+  xi_loc : Cfront.Loc.t;
+  xi_ret : (State.nullstate * State.allocstate) option;
+      (** the returned value's states, when a pointer value is returned *)
+  xi_params : (State.defstate * State.allocstate) array;
+      (** externally visible view of each parameter, by index *)
+}
+
+val check_fundef :
+  ?diags:Cfront.Diag.Collector.t ->
+  ?exit_obs:(exit_info -> unit) ->
+  Sema.program -> Sema.funsig -> Cfront.Ast.fundef -> unit
+(** Check one function definition against its interface.  [diags]
+    redirects messages to a scratch collector (inference probes);
+    [exit_obs] is called at every reachable exit with the raw state
+    (summary extraction). *)
 
 val check_program : Sema.program -> unit
 (** Check every function defined in the program, in source order. *)

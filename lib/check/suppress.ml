@@ -67,6 +67,12 @@ let suppresses (t : t) (loc : Loc.t) : bool =
          && loc.Loc.line <= r.r_to)
        t.regions
 
-(** Partition diagnostics into (kept, suppressed). *)
+(** Partition diagnostics into (kept, suppressed).  Suppressed messages
+    are counted under the [suppressed_total] telemetry counter so they
+    appear in [-stats] instead of vanishing from the summary. *)
 let filter (t : t) (diags : Diag.t list) : Diag.t list * Diag.t list =
-  List.partition (fun (d : Diag.t) -> not (suppresses t d.Diag.loc)) diags
+  let kept, suppressed =
+    List.partition (fun (d : Diag.t) -> not (suppresses t d.Diag.loc)) diags
+  in
+  Telemetry.Counter.add Telemetry.c_suppressed (List.length suppressed);
+  (kept, suppressed)

@@ -1,0 +1,438 @@
+(** Interprocedural annotation inference (the tool's answer to the
+    paper's Section 6 complaint that "adding annotations to a large
+    legacy system is the main cost of adopting the checker").
+
+    The pass walks the {!Callgraph} bottom-up and, for every
+    unannotated pointer slot (return value or parameter) of a defined
+    function, proposes Appendix-B annotations and keeps the ones the
+    function's own body *proves*:
+
+    - a candidate is installed into the symbol table
+      ({!Sema.update_funsig}) and the function is re-checked against a
+      scratch collector (a {e probe});
+    - the candidate survives only if the probe reports no more
+      diagnostics than the un-candidate baseline — the annotation's
+      obligations are discharged by the body — and, for return-value
+      annotations, only if every observed exit state
+      ({!Check.Checker.exit_info}) actually exhibits the claimed
+      property (never-null for [notnull], fresh obligation-carrying
+      storage for [only]);
+    - accepted annotations are marked with the {!Annot.mark_inferred}
+      provenance bit, stay installed, and are immediately visible to
+      callers (and, inside a strongly connected component, to the
+      recursive calls of the component itself).
+
+    Mutually recursive components iterate to a local fixpoint: rounds
+    of candidate probing repeat until a full round accepts nothing.
+    Because a later acceptance can invalidate the probe that justified
+    an earlier one (the earlier probe ran against weaker assumptions),
+    each component ends with a conservative widening step: while the
+    component's total diagnostic count exceeds its original baseline,
+    the most recently accepted annotation is retracted. *)
+
+open Cfront
+module Ctype = Sema.Ctype
+module Callgraph = Callgraph
+
+type slot = Sret | Sparam of int [@@deriving eq, ord, show { with_path = false }]
+
+(** One accepted annotation: [fd_word] (an Appendix-B keyword) on slot
+    [fd_slot] of function [fd_fun]. *)
+type finding = {
+  fd_fun : string;
+  fd_slot : slot;
+  fd_word : string;
+  fd_loc : Loc.t;
+}
+
+type outcome = {
+  out_findings : finding list;  (** acceptance order *)
+  out_rounds : int;  (** fixpoint rounds across all components *)
+  out_sccs : int;  (** strongly connected components visited *)
+  out_procedures : int;  (** defined procedures considered *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Annotation stripping (benchmarks, tests, the docs' worked example)  *)
+(* ------------------------------------------------------------------ *)
+
+let strip_annotations (src : string) : string =
+  let b = Bytes.of_string src in
+  let n = Bytes.length b in
+  let i = ref 0 in
+  while !i < n do
+    if
+      !i + 2 < n
+      && Bytes.get b !i = '/'
+      && Bytes.get b (!i + 1) = '*'
+      && Bytes.get b (!i + 2) = '@'
+    then begin
+      let j = ref (!i + 3) in
+      let stop = ref n in
+      (try
+         while !j + 1 < n do
+           if Bytes.get b !j = '*' && Bytes.get b (!j + 1) = '/' then begin
+             stop := !j + 2;
+             raise Exit
+           end;
+           incr j
+         done
+       with Exit -> ());
+      for k = !i to !stop - 1 do
+        if Bytes.get b k <> '\n' then Bytes.set b k ' '
+      done;
+      i := !stop
+    end
+    else incr i
+  done;
+  Bytes.to_string b
+
+(* ------------------------------------------------------------------ *)
+(* Candidates                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type cand = { c_slot : slot; c_word : string }
+
+(* A slot already carrying reference-count qualifiers belongs to the
+   refcounting extension; its storage discipline is spoken for. *)
+let refcount_qualified (an : Annot.set) =
+  an.Annot.an_refcounted || an.Annot.an_newref || an.Annot.an_killref
+  || an.Annot.an_tempref
+
+(* Candidates are regenerated from the *current* signature after every
+   acceptance, so a filled category (explicit or freshly inferred)
+   stops proposing itself, and mutually exclusive pairs (out/only on
+   one parameter) cannot both install. *)
+let candidates (fs : Sema.funsig) : cand list =
+  if String.equal fs.Sema.fs_name "main" then []
+  else
+    let ret =
+      if not (Ctype.is_pointer fs.Sema.fs_ret) then []
+      else
+        let e = fs.Sema.fs_ret_annots in
+        let an = e.Sema.an in
+        if refcount_qualified an || an.Annot.an_expose <> None then []
+        else
+          (if an.Annot.an_alloc = None || e.Sema.alloc_implicit then
+             [ { c_slot = Sret; c_word = "only" } ]
+           else [])
+          @
+          if an.Annot.an_null = None then
+            [ { c_slot = Sret; c_word = "notnull" } ]
+          else []
+    in
+    let params =
+      List.concat
+        (List.mapi
+           (fun i (p : Sema.param) ->
+             if not (Ctype.is_pointer p.Sema.pr_ty) then []
+             else
+               let e = p.Sema.pr_annots in
+               let an = e.Sema.an in
+               if refcount_qualified an || an.Annot.an_expose <> None then []
+               else
+                 let definable =
+                   match Ctype.deref (Ctype.unroll p.Sema.pr_ty) with
+                   | Some t ->
+                       (not (Ctype.is_void (Ctype.unroll t)))
+                       && not (Ctype.is_function (Ctype.unroll t))
+                   | None -> false
+                 in
+                 (if
+                    an.Annot.an_def = None
+                    && an.Annot.an_alloc <> Some Annot.Only
+                    && definable
+                  then [ { c_slot = Sparam i; c_word = "out" } ]
+                  else [])
+                 @ (if
+                      (an.Annot.an_alloc = None || e.Sema.alloc_implicit)
+                      && an.Annot.an_def <> Some Annot.Out
+                    then [ { c_slot = Sparam i; c_word = "only" } ]
+                    else [])
+                 @
+                 if an.Annot.an_null = None then
+                   [ { c_slot = Sparam i; c_word = "null" } ]
+                 else [])
+           fs.Sema.fs_params)
+    in
+    params @ ret
+
+(* Install a candidate into a signature.  Inferred [only] replaces the
+   implicit allocation assumption, so [alloc_implicit] drops: checker
+   messages then say "only" rather than "implicitly only". *)
+let apply_cand (fs : Sema.funsig) (c : cand) : Sema.funsig =
+  let upd (e : Sema.eannot) : Sema.eannot =
+    let an = e.Sema.an in
+    let an, alloc_implicit =
+      match c.c_word with
+      | "notnull" ->
+          ({ an with Annot.an_null = Some Annot.NotNull }, e.Sema.alloc_implicit)
+      | "null" ->
+          ({ an with Annot.an_null = Some Annot.Null }, e.Sema.alloc_implicit)
+      | "out" -> ({ an with Annot.an_def = Some Annot.Out }, e.Sema.alloc_implicit)
+      | "only" -> ({ an with Annot.an_alloc = Some Annot.Only }, false)
+      | w -> invalid_arg ("Infer.apply_cand: unknown word " ^ w)
+    in
+    { Sema.an = Annot.mark_inferred an; alloc_implicit }
+  in
+  match c.c_slot with
+  | Sret -> { fs with Sema.fs_ret_annots = upd fs.Sema.fs_ret_annots }
+  | Sparam i ->
+      {
+        fs with
+        Sema.fs_params =
+          List.mapi
+            (fun j (p : Sema.param) ->
+              if j = i then { p with Sema.pr_annots = upd p.Sema.pr_annots }
+              else p)
+            fs.Sema.fs_params;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* Probing                                                             *)
+(* ------------------------------------------------------------------ *)
+
+(* Re-check one function against a scratch collector; its diagnostics
+   and raw exit states are the procedure summary. *)
+let summarize (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
+    (name : string) : Diag.t list * Check.Checker.exit_info list =
+  match Hashtbl.find_opt bodies name with
+  | None -> ([], [])
+  | Some f ->
+      let fs = Hashtbl.find prog.Sema.p_funcs name in
+      let scratch = Diag.Collector.create () in
+      let exits = ref [] in
+      Telemetry.Counter.tick Telemetry.c_infer_summaries;
+      Check.Checker.check_fundef ~diags:scratch
+        ~exit_obs:(fun xi -> exits := xi :: !exits)
+        prog fs f;
+      (Diag.Collector.all scratch, List.rev !exits)
+
+(* Diagnostics are compared by position and category: installing an
+   annotation rewords messages ("implicitly temp" becomes "only") but
+   never moves source text, so (loc, code) identifies a complaint across
+   probe runs. *)
+let diag_key (d : Diag.t) =
+  (d.Diag.loc.Loc.file, d.Diag.loc.Loc.line, d.Diag.loc.Loc.col, d.Diag.code)
+
+(* [after] introduces no complaint absent from [before] (multiset
+   inclusion): the candidate's obligations are fully discharged by the
+   body.  A candidate that merely trades one complaint for another is
+   rejected — it restates a problem, it doesn't express the interface. *)
+let no_new_diags ~(before : Diag.t list) ~(after : Diag.t list) : bool =
+  let seen = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let k = diag_key d in
+      Hashtbl.replace seen k
+        (1 + Option.value (Hashtbl.find_opt seen k) ~default:0))
+    before;
+  List.for_all
+    (fun d ->
+      let k = diag_key d in
+      match Hashtbl.find_opt seen k with
+      | Some n when n > 0 ->
+          Hashtbl.replace seen k (n - 1);
+          true
+      | _ -> false)
+    after
+
+(* Exit-observation gates for return-value candidates: the probe's
+   diagnostic count alone cannot justify them.  [notnull] on a
+   possibly-null return adds no *local* error (the nullret complaint is
+   already in the baseline), and the implicit-only convention means an
+   [only] probe checks the same interface the baseline did.  So the
+   returned value must demonstrably be never-null / obligation-carrying
+   at every observed exit. *)
+let ret_gate (c : cand) (exits : Check.Checker.exit_info list) : bool =
+  match (c.c_slot, c.c_word) with
+  | Sret, "notnull" ->
+      exits <> []
+      && List.for_all
+           (fun (xi : Check.Checker.exit_info) ->
+             match xi.Check.Checker.xi_ret with
+             | Some (n, _) -> Check.State.equal_nullstate n Check.State.NSnotnull
+             | None -> false)
+           exits
+  | Sret, "only" ->
+      exits <> []
+      && List.for_all
+           (fun (xi : Check.Checker.exit_info) ->
+             match xi.Check.Checker.xi_ret with
+             | Some (_, a) -> Check.State.has_obligation a
+             | None -> false)
+           exits
+  | _ -> true
+
+(* Probe one candidate.  On acceptance the annotated signature stays
+   installed; on rejection the original is restored.  Returns whether
+   it was accepted. *)
+let try_cand (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
+    (name : string) (c : cand) : bool =
+  let fs0 = Hashtbl.find prog.Sema.p_funcs name in
+  (* For return-[only] the interesting comparison is against a
+     signature with *no* allocation claim at all: under the default
+     flags the baseline already carries the implicit only, and probing
+     the explicit spelling against it would measure nothing. *)
+  let base_fs =
+    match (c.c_slot, c.c_word) with
+    | Sret, "only" ->
+        let e = fs0.Sema.fs_ret_annots in
+        {
+          fs0 with
+          Sema.fs_ret_annots =
+            {
+              Sema.an = { e.Sema.an with Annot.an_alloc = None };
+              alloc_implicit = false;
+            };
+        }
+    | _ -> fs0
+  in
+  Sema.update_funsig prog base_fs;
+  let before, _ = summarize prog bodies name in
+  Sema.update_funsig prog (apply_cand base_fs c);
+  let after, exits = summarize prog bodies name in
+  if no_new_diags ~before ~after && ret_gate c exits then true
+  else begin
+    Sema.update_funsig prog fs0;
+    false
+  end
+
+(* ------------------------------------------------------------------ *)
+(* The fixpoint engine                                                 *)
+(* ------------------------------------------------------------------ *)
+
+let default_max_rounds = 4
+
+let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
+  Telemetry.with_span ~file:prog.Sema.p_file Telemetry.phase_infer @@ fun () ->
+  let bodies = Hashtbl.create 16 in
+  List.iter
+    (fun ((fs : Sema.funsig), f) -> Hashtbl.replace bodies fs.Sema.fs_name f)
+    (Sema.fundefs prog);
+  let cg = Callgraph.build prog in
+  let comps = Callgraph.sccs cg in
+  let findings = ref [] in
+  let rounds_total = ref 0 in
+  let procedures = ref 0 in
+  let do_component comp =
+    let members = List.filter (Hashtbl.mem bodies) comp in
+    procedures := !procedures + List.length members;
+    if members <> [] then begin
+      let orig =
+        List.map (fun n -> (n, Hashtbl.find prog.Sema.p_funcs n)) members
+      in
+      let component_count () =
+        List.fold_left
+          (fun acc n -> acc + List.length (fst (summarize prog bodies n)))
+          0 members
+      in
+      let baseline = component_count () in
+      let accepted = ref [] (* newest first *) in
+      (* Probe this function's slots until nothing more sticks;
+         candidates regenerate from the updated signature after every
+         acceptance. *)
+      let improve name =
+        let improved = ref false in
+        let again = ref true in
+        while !again do
+          again := false;
+          let fs = Hashtbl.find prog.Sema.p_funcs name in
+          match
+            List.find_opt (fun c -> try_cand prog bodies name c)
+              (candidates fs)
+          with
+          | Some c ->
+              accepted :=
+                {
+                  fd_fun = name;
+                  fd_slot = c.c_slot;
+                  fd_word = c.c_word;
+                  fd_loc = fs.Sema.fs_loc;
+                }
+                :: !accepted;
+              improved := true;
+              again := true
+          | None -> ()
+        done;
+        !improved
+      in
+      let changed = ref true in
+      let rounds = ref 0 in
+      while !changed && !rounds < max_rounds do
+        changed := false;
+        incr rounds;
+        Telemetry.Counter.tick Telemetry.c_infer_rounds;
+        List.iter (fun name -> if improve name then changed := true) members
+      done;
+      rounds_total := !rounds_total + !rounds;
+      (* Conservative widening: inside a recursive component a later
+         acceptance can invalidate an earlier probe (which ran under
+         weaker assumptions about the recursive calls).  Retract the
+         most recent annotations until the component checks no worse
+         than it originally did. *)
+      let reinstall kept_newest_first =
+        List.iter (fun (_, fs) -> Sema.update_funsig prog fs) orig;
+        List.iter
+          (fun fd ->
+            let fs = Hashtbl.find prog.Sema.p_funcs fd.fd_fun in
+            Sema.update_funsig prog
+              (apply_cand fs { c_slot = fd.fd_slot; c_word = fd.fd_word }))
+          (List.rev kept_newest_first)
+      in
+      while component_count () > baseline && !accepted <> [] do
+        accepted := List.tl !accepted;
+        reinstall !accepted
+      done;
+      findings := !findings @ List.rev !accepted
+    end
+  in
+  List.iter do_component comps;
+  Telemetry.Counter.add Telemetry.c_infer_annots (List.length !findings);
+  {
+    out_findings = !findings;
+    out_rounds = !rounds_total;
+    out_sccs = List.length comps;
+    out_procedures = !procedures;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Reporting                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let prototype (fs : Sema.funsig) (fds : finding list) : string =
+  let ann slot =
+    String.concat ""
+      (List.filter_map
+         (fun fd ->
+           if equal_slot fd.fd_slot slot then Some ("/*@" ^ fd.fd_word ^ "@*/ ")
+           else None)
+         fds)
+  in
+  let param i (p : Sema.param) =
+    ann (Sparam i) ^ Ctype.to_string p.Sema.pr_ty ^ " " ^ p.Sema.pr_name
+  in
+  let params =
+    match fs.Sema.fs_params with
+    | [] -> "void"
+    | ps -> String.concat ", " (List.mapi param ps)
+  in
+  ann Sret ^ Ctype.to_string fs.Sema.fs_ret ^ " " ^ fs.Sema.fs_name ^ "("
+  ^ params ^ ")"
+  ^ (if fs.Sema.fs_varargs then " /* ... */;" else ";")
+
+let render (prog : Sema.program) (o : outcome) : string =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun name ->
+      match
+        ( List.filter (fun fd -> String.equal fd.fd_fun name) o.out_findings,
+          Hashtbl.find_opt prog.Sema.p_funcs name )
+      with
+      | [], _ | _, None -> ()
+      | fds, Some fs ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s: %s\n" (Loc.to_string fs.Sema.fs_loc)
+               (prototype fs fds)))
+    (Sema.func_order prog);
+  Buffer.contents buf

@@ -1,0 +1,60 @@
+(** Interprocedural annotation inference: a bottom-up call-graph
+    fixpoint that synthesizes Appendix-B annotations ([only], [notnull],
+    [null], [out]) for unannotated pointer slots of defined functions.
+
+    Each candidate annotation is {e probed}: installed into the symbol
+    table, the owning function re-checked against a scratch collector,
+    and kept only when the body discharges the annotation's obligations
+    (no new diagnostics) and — for return-value claims — every observed
+    exit state actually exhibits the property.  Accepted annotations
+    carry the {!Annot.mark_inferred} provenance bit and are visible to
+    callers checked later (and to recursive calls within a strongly
+    connected component, which iterates to a fixpoint with conservative
+    retraction).  See [docs/inference.md] for the full algorithm. *)
+
+module Callgraph = Callgraph
+
+(** An annotatable interface slot of a function. *)
+type slot = Sret | Sparam of int
+
+val equal_slot : slot -> slot -> bool
+val compare_slot : slot -> slot -> int
+val pp_slot : Format.formatter -> slot -> unit
+val show_slot : slot -> string
+
+(** One accepted annotation: the Appendix-B keyword [fd_word] on slot
+    [fd_slot] of function [fd_fun] (declared at [fd_loc]). *)
+type finding = {
+  fd_fun : string;
+  fd_slot : slot;
+  fd_word : string;
+  fd_loc : Cfront.Loc.t;
+}
+
+type outcome = {
+  out_findings : finding list;  (** acceptance order *)
+  out_rounds : int;  (** fixpoint rounds across all components *)
+  out_sccs : int;  (** strongly connected components visited *)
+  out_procedures : int;  (** defined procedures considered *)
+}
+
+val default_max_rounds : int
+
+val run : ?max_rounds:int -> Sema.program -> outcome
+(** Run inference over every defined function.  Mutates the program's
+    symbol table: accepted annotations stay installed (marked inferred),
+    so a subsequent {!Check.Checker.check_program} checks against them.
+    [max_rounds] caps the per-component fixpoint iteration. *)
+
+val prototype : Sema.funsig -> finding list -> string
+(** Render a function's declaration with the given findings spliced in
+    as [/*@word@*/] comments, Appendix-B style. *)
+
+val render : Sema.program -> outcome -> string
+(** One line per function that gained annotations, in source order:
+    [file:line: annotated-prototype]. *)
+
+val strip_annotations : string -> string
+(** Replace every [/*@...@*/] span in C source with spaces (newlines
+    kept, so locations survive).  Used by the benchmark harness and the
+    tests to hide hand annotations before re-deriving them. *)

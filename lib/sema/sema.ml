@@ -565,3 +565,94 @@ let struct_order p = List.rev p.p_struct_order_rev
 let typedef_order p = List.rev p.p_typedef_order_rev
 let global_order p = List.rev p.p_global_order_rev
 let func_order p = List.rev p.p_func_order_rev
+
+(** Replace a function's signature everywhere the program holds one: the
+    symbol table AND the (funsig, fundef) pairs captured at definition time.
+    Annotation inference uses this to install synthesized annotations; the
+    two views must never disagree, or the checker would check the body
+    against a stale interface. *)
+let update_funsig p (fs : funsig) : unit =
+  Hashtbl.replace p.p_funcs fs.fs_name fs;
+  p.p_fundefs_rev <-
+    List.map
+      (fun ((old_fs : funsig), f) ->
+        if String.equal old_fs.fs_name fs.fs_name then (fs, f) else (old_fs, f))
+      p.p_fundefs_rev
+
+(* ------------------------------------------------------------------ *)
+(* Direct calls (call-graph support)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** Names appearing in direct-call position ([f(...)] with [f] an
+    identifier) anywhere in a function body, in first-occurrence order.
+    The checker uses this to decide whether a procedure's messages depend
+    on inferred annotations; {!Infer}'s call graph is built from it. *)
+let calls_of_fundef (f : Ast.fundef) : string list =
+  let seen = Hashtbl.create 16 in
+  let acc = ref [] in
+  let note name =
+    if not (Hashtbl.mem seen name) then begin
+      Hashtbl.add seen name ();
+      acc := name :: !acc
+    end
+  in
+  let rec expr (e : Ast.expr) =
+    match e.e with
+    | Ast.Ecall ({ e = Ast.Eident name; _ }, args) ->
+        note name;
+        List.iter expr args
+    | Ast.Ecall (fe, args) ->
+        expr fe;
+        List.iter expr args
+    | Ast.Eident _ | Ast.Eint _ | Ast.Echar _ | Ast.Estring _ | Ast.Efloat _
+    | Ast.Esizeof_type _ ->
+        ()
+    | Ast.Emember (b, _) | Ast.Earrow (b, _) | Ast.Ederef b | Ast.Eaddr b
+    | Ast.Eunary (_, b) | Ast.Epostincr b | Ast.Epostdecr b | Ast.Epreincr b
+    | Ast.Epredecr b | Ast.Ecast (_, b) | Ast.Esizeof_expr b ->
+        expr b
+    | Ast.Eindex (a, b)
+    | Ast.Ebinary (_, a, b)
+    | Ast.Eassign (_, a, b)
+    | Ast.Ecomma (a, b) ->
+        expr a;
+        expr b
+    | Ast.Econd (a, b, c) ->
+        expr a;
+        expr b;
+        expr c
+  in
+  let init (i : Ast.init) =
+    let rec go = function
+      | Ast.Iexpr e -> expr e
+      | Ast.Ilist is -> List.iter go is
+    in
+    go i
+  in
+  let rec stmt (s : Ast.stmt) =
+    match s.s with
+    | Ast.Sskip | Ast.Sbreak | Ast.Scontinue | Ast.Sgoto _ -> ()
+    | Ast.Sexpr e | Ast.Sassert e -> expr e
+    | Ast.Sdecl ds ->
+        List.iter (fun (d : Ast.decl) -> Option.iter init d.d_init) ds
+    | Ast.Sblock ss -> List.iter stmt ss
+    | Ast.Sif (c, t, e) ->
+        expr c;
+        stmt t;
+        Option.iter stmt e
+    | Ast.Swhile (c, b) | Ast.Sdo (b, c) | Ast.Scase (c, b) ->
+        expr c;
+        stmt b
+    | Ast.Sfor (i, c, st_, b) ->
+        Option.iter stmt i;
+        Option.iter expr c;
+        Option.iter expr st_;
+        stmt b
+    | Ast.Sreturn e -> Option.iter expr e
+    | Ast.Sswitch (e, b) ->
+        expr e;
+        stmt b
+    | Ast.Sdefault b | Ast.Slabel (_, b) -> stmt b
+  in
+  stmt f.f_body;
+  List.rev !acc

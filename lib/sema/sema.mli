@@ -135,3 +135,12 @@ val struct_order : program -> string list
 val typedef_order : program -> string list
 val global_order : program -> string list
 val func_order : program -> string list
+
+val update_funsig : program -> funsig -> unit
+(** Replace a function's signature in the symbol table and in every
+    captured (funsig, fundef) pair.  Annotation inference installs
+    synthesized annotations through this, keeping both views coherent. *)
+
+val calls_of_fundef : Cfront.Ast.fundef -> string list
+(** Names in direct-call position anywhere in the body, first-occurrence
+    order (the edge set of {!Infer}'s call graph). *)

@@ -115,6 +115,7 @@ let counters () =
 let phase_lex = "lex"
 let phase_parse = "parse"
 let phase_sema = "sema"
+let phase_infer = "infer"
 let phase_check = "check"
 let phase_interp = "interp"
 
@@ -122,6 +123,10 @@ let c_tokens = Counter.make "tokens"
 let c_ast_nodes = Counter.make "ast_nodes"
 let c_procedures = Counter.make "procedures_checked"
 let c_store_ops = Counter.make "store_ops"
+let c_infer_rounds = Counter.make "infer_rounds"
+let c_infer_summaries = Counter.make "infer_summaries"
+let c_infer_annots = Counter.make "infer_annotations"
+let c_suppressed = Counter.make "suppressed_total"
 let diag_counter_prefix = "diag."
 
 let reset () =
@@ -140,7 +145,8 @@ type phase_row = {
   ph_secs : float;
 }
 
-let phase_order = [ phase_lex; phase_parse; phase_sema; phase_check; phase_interp ]
+let phase_order =
+  [ phase_lex; phase_parse; phase_sema; phase_infer; phase_check; phase_interp ]
 
 let phase_rank p =
   let rec go i = function

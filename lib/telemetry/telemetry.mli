@@ -80,6 +80,7 @@ val counters : unit -> (string * int) list
 val phase_lex : string
 val phase_parse : string
 val phase_sema : string
+val phase_infer : string
 val phase_check : string
 val phase_interp : string
 
@@ -87,6 +88,19 @@ val c_tokens : Counter.t
 val c_ast_nodes : Counter.t
 val c_procedures : Counter.t
 val c_store_ops : Counter.t
+
+val c_infer_rounds : Counter.t
+(** Fixpoint rounds executed by the annotation-inference pass. *)
+
+val c_infer_summaries : Counter.t
+(** Per-procedure summaries (re)computed during inference. *)
+
+val c_infer_annots : Counter.t
+(** Annotations accepted (installed) by inference. *)
+
+val c_suppressed : Counter.t
+(** Diagnostics silenced by stylized suppression comments. *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
 

@@ -191,7 +191,7 @@ while IFS= read -r line; do
     "{\"file\":"*"}") ;;
     *) fail "-json line is not a JSON object: $line" ;;
   esac
-  for field in '"line":' '"column":' '"severity":' '"category":' '"code":' '"message":' '"suppressed":'; do
+  for field in '"line":' '"column":' '"severity":' '"category":' '"code":' '"message":' '"suppressed":' '"procedure":' '"inferred":'; do
     case "$line" in
       *"$field"*) ;;
       *) fail "-json record missing $field: $line" ;;
@@ -228,6 +228,49 @@ cmp -s "$tmp/plain1" "$tmp/plain2" || fail "plain output should be deterministic
 "$OLCRUN" -stats "$EXAMPLES/clean.c" > "$tmp/out" 2> "$tmp/err" \
   || fail "olcrun -stats on clean.c should exit 0"
 expect_contains "$tmp/err" "interp" "olcrun -stats interp phase"
+
+# --- suppression counts surface in -stats ---------------------------------
+cat > "$tmp/sup.c" <<'CEOF'
+void f(/*@null@*/ int *p)
+{
+  /*@i@*/ *p = 1;
+}
+CEOF
+"$OLCLINT" -q -stats "$tmp/sup.c" > "$tmp/out" 2> "$tmp/err" \
+  || fail "suppressed-only file should exit 0"
+expect_contains "$tmp/out" "(1 suppressed)" "summary shows the suppressed count"
+expect_contains "$tmp/err" "suppressed_total" "-stats surfaces suppressed_total"
+
+# --- annotation inference: -infer and +inferconstraints -------------------
+"$OLCLINT" -infer "$EXAMPLES/list_plain.c" > "$tmp/out" 2>&1 \
+  || fail "-infer report mode should exit 0"
+expect_contains "$tmp/out" "elem_create" "-infer reports the constructor"
+expect_contains "$tmp/out" "/*@only@*/" "-infer prints Appendix-B comments"
+expect_contains "$tmp/out" "annotations inferred" "-infer summary line"
+
+"$OLCLINT" "$EXAMPLES/list_plain.c" > "$tmp/plain" 2>&1
+plain_n=$(sed -n 's/^\([0-9]*\) code warning.*/\1/p' "$tmp/plain")
+"$OLCLINT" +inferconstraints "$EXAMPLES/list_plain.c" > "$tmp/inferred" 2>&1
+inferred_n=$(sed -n 's/^\([0-9]*\) code warning.*/\1/p' "$tmp/inferred")
+[ -n "$plain_n" ] && [ -n "$inferred_n" ] || fail "inference runs should print summaries"
+[ "$inferred_n" -lt "$plain_n" ] \
+  || fail "+inferconstraints should report strictly fewer warnings ($inferred_n vs $plain_n)"
+
+"$OLCLINT" -json +inferconstraints "$EXAMPLES/list_plain.c" > "$tmp/ndjson" 2>/dev/null
+grep -q '"inferred":true' "$tmp/ndjson" \
+  || fail "+inferconstraints records should carry inferred:true"
+grep -q '"procedure":"' "$tmp/ndjson" \
+  || fail "-json records should carry the procedure field"
+
+# inference telemetry: fixpoint rounds and summaries in -stats
+"$OLCLINT" -q -stats +inferconstraints "$EXAMPLES/list_plain.c" > /dev/null 2> "$tmp/err"
+expect_contains "$tmp/err" "infer_rounds" "-stats surfaces inference rounds"
+expect_contains "$tmp/err" "infer_annotations" "-stats surfaces accepted annotations"
+
+# inference off: output on the annotated example is unchanged
+"$OLCLINT" "$EXAMPLES/list.c" > "$tmp/base1" 2>&1
+"$OLCLINT" "$EXAMPLES/list.c" > "$tmp/base2" 2>&1
+cmp -s "$tmp/base1" "$tmp/base2" || fail "checking without inference must stay deterministic"
 
 echo "cli tests passed"
 

@@ -426,6 +426,47 @@ let test_break_merges () =
     "int f(int n) { int i; for (i = 0; i < n; i++) { if (i == 3) { break; } } \
      return i; }"
 
+let test_nested_loop_break_merge () =
+  (* an inner break merges into the inner loop's exit, not the outer
+     loop's: storage freed only on the break path must still be
+     reconciled at the inner confluence *)
+  check_codes "inner break stays inner" []
+    "int f(int n) { int i; int j; int acc; acc = 0; for (i = 0; i < n; i++) { \
+     for (j = 0; j < n; j++) { if (j == 2) { break; } acc = acc + 1; } acc = \
+     acc + i; } return acc; }";
+  let r =
+    check
+      "void f(int n) { int i; int *p = (int *) malloc(sizeof(int)); if (p == \
+       NULL) { exit(1); } for (i = 0; i < n; i++) { if (i == 3) { free(p); \
+       break; } } }"
+  in
+  (* freed on the break path, live on the fall-out path: the merge after
+     the loop must surface the inconsistency rather than lose it *)
+  Alcotest.(check bool) "break-path free caught" true
+    (has_code r "branchstate" || has_code r "mustfree")
+
+let test_nested_loop_continue_merge () =
+  check_codes "continue merges into the next iteration" []
+    "int f(int n) { int i; int j; int acc; acc = 0; for (i = 0; i < n; i++) { \
+     for (j = 0; j < n; j++) { if (j == 1) { continue; } acc = acc + j; } } \
+     return acc; }";
+  (* storage freed before a continue is freed again by the loop body's
+     other arm only if the merge is wrong; a definition made on every
+     path up to the continue must survive the merge *)
+  check_codes "defs before continue survive" []
+    "int f(int n) { int i; int x; for (i = 0; i < n; i++) { x = i; if (x == \
+     2) { continue; } x = x + 1; } return 0; }"
+
+let test_nested_loop_break_undef () =
+  (* a variable defined only after the inner break point is undefined on
+     the break path; using it after the inner loop must be flagged *)
+  let r =
+    check
+      "int f(int n) { int i; int j; int y; for (i = 0; i < n; i++) { for (j \
+       = 0; j < n; j++) { if (j == 1) { break; } y = 1; } } return y; }"
+  in
+  Alcotest.(check bool) "undef on break path" true (has_code r "usedef")
+
 (* ------------------------------------------------------------------ *)
 (* Suppression                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -708,6 +749,11 @@ let () =
           Alcotest.test_case "while zero-or-one" `Quick test_while_zero_or_one;
           Alcotest.test_case "switch" `Quick test_switch_branches;
           Alcotest.test_case "break" `Quick test_break_merges;
+          Alcotest.test_case "nested break" `Quick test_nested_loop_break_merge;
+          Alcotest.test_case "nested continue" `Quick
+            test_nested_loop_continue_merge;
+          Alcotest.test_case "nested break undef" `Quick
+            test_nested_loop_break_undef;
         ] );
       ("extensions", extension_tests);
       ("refcounting", refcount_tests);

@@ -206,11 +206,20 @@ let test_json_golden_sample () =
             Alcotest.failf "record missing field %s: %s" field (J.to_string v))
         [
           "file"; "line"; "column"; "severity"; "category"; "code"; "message";
-          "suppressed"; "notes";
+          "suppressed"; "procedure"; "inferred"; "notes";
         ];
       Alcotest.(check (option string))
         "file field" (Some "examples/sample.c")
-        (Option.bind (J.member "file" v) J.to_string_opt))
+        (Option.bind (J.member "file" v) J.to_string_opt);
+      (* checker records carry the procedure they were found in, and the
+         inferred provenance defaults to false when inference is off *)
+      Alcotest.(check bool) "procedure is a string" true
+        (Option.bind (J.member "procedure" v) J.to_string_opt <> None);
+      Alcotest.(check (option string))
+        "inferred false by default" (Some "false")
+        (Option.map
+           (function Telemetry.Json.Bool b -> string_of_bool b | _ -> "?")
+           (J.member "inferred" v)))
     records;
   let mustfree =
     List.find_opt
