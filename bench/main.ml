@@ -6,6 +6,9 @@
     - [dune exec bench/main.exe]            — all experiment tables
     - [dune exec bench/main.exe -- micro]   — bechamel micro-benchmarks
     - [dune exec bench/main.exe -- fig_sample sec6_employee ...] — a subset
+    - [dune exec bench/main.exe -- -seed 7 scale] — fix the Progen seed
+    - [dune exec bench/main.exe -- -baseline bench/store_ops_baseline.txt
+       scale] — fail (exit 3) if sequential store_ops regresses >10%
 
     The paper's evaluation (Sections 6–7) reports numbers in prose rather
     than numbered tables; each "experiment" below corresponds to one row of
@@ -25,6 +28,14 @@ let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in
   (r, Unix.gettimeofday () -. t0)
+
+(* [-seed N] threads a PRNG seed into every Progen corpus so generated
+   programs (and BENCH_*.json derived from them) are reproducible
+   run-to-run; [-baseline FILE] makes the [scale] experiment fail when
+   the sequential store_ops count regresses >10% over a recorded
+   number (the CI gate). *)
+let seed_flag = ref 42
+let baseline_flag : string option ref = ref None
 
 (* ------------------------------------------------------------------ *)
 (* F1-F4: the sample.c figures                                         *)
@@ -123,7 +134,7 @@ let sec7_scaling () =
   let rates =
     List.map
       (fun (modules, fns) ->
-        let p = Progen.generate ~modules ~fns_per_module:fns () in
+        let p = Progen.generate ~seed:!seed_flag ~modules ~fns_per_module:fns () in
         let r, dt = time (fun () -> Progen.static_check p) in
         assert (r.Check.reports = []);
         let rate = float_of_int p.Progen.loc /. dt in
@@ -141,7 +152,7 @@ let sec7_scaling () =
         last_loc
         (100.0 *. last_rate /. mid_rate)
   | _ -> ());
-  let p = Progen.generate ~modules:64 ~fns_per_module:60 () in
+  let p = Progen.generate ~seed:!seed_flag ~modules:64 ~fns_per_module:60 () in
   let prog = Progen.analyse p in
   let lib = Check.Libspec.save prog in
   let _, t_whole = time (fun () -> Progen.static_check p) in
@@ -180,9 +191,9 @@ let sec7_messages () =
   List.iter
     (fun modules ->
       let bare =
-        Progen.generate ~modules ~fns_per_module:8 ~annotated:false ()
+        Progen.generate ~seed:!seed_flag ~modules ~fns_per_module:8 ~annotated:false ()
       in
-      let full = Progen.generate ~modules ~fns_per_module:8 () in
+      let full = Progen.generate ~seed:!seed_flag ~modules ~fns_per_module:8 () in
       let rb = Progen.static_check ~flags bare in
       let rf = Progen.static_check ~flags full in
       row "  %-10d %-12d %-12d %-12d\n" modules bare.Progen.loc
@@ -214,7 +225,7 @@ let sec7_missed () =
   row "  found them.  (Footnote 8: later LCLint versions detect the\n";
   row "  first two; our +freeoffset/+freestatic flags.)\n\n";
   let p =
-    Progen.generate ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
+    Progen.generate ~seed:!seed_flag ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
   in
   let static_r = Progen.static_check p in
   let static_ext =
@@ -282,7 +293,7 @@ let rt_coverage () =
   List.iter
     (fun cov ->
       let p =
-        Progen.generate ~modules:8 ~fns_per_module:2
+        Progen.generate ~seed:!seed_flag ~modules:8 ~fns_per_module:2
           ~bugs:Progen.all_bug_kinds ~coverage:cov ()
       in
       let rt = Progen.dynamic_check p in
@@ -357,7 +368,7 @@ let ablation () =
     List.length (Stdspec.check ~flags ~file:"t.c" src).Check.reports
   in
   let seeded =
-    Progen.generate ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
+    Progen.generate ~seed:!seed_flag ~modules:8 ~fns_per_module:2 ~bugs:Progen.all_bug_kinds ()
   in
   row "  %-14s %-12s %-12s %-14s %-14s\n" "config" "fig3 (FPs)" "fig5 (hits)"
     "db stage7 (FPs)" "seeded (hits)";
@@ -397,7 +408,7 @@ let phases () =
       ignore (Sema.analyze ~flags ~into:prog tu))
     (E.stage E.max_stage);
   Check.Checker.check_program prog;
-  let gen = Progen.generate ~modules:8 ~fns_per_module:10 () in
+  let gen = Progen.generate ~seed:!seed_flag ~modules:8 ~fns_per_module:10 () in
   ignore (Progen.static_check gen);
   Format.printf "%a" Telemetry.pp_stats ();
   let oc = open_out "BENCH_phases.json" in
@@ -564,7 +575,7 @@ let micro () =
   let open Toolkit in
   let db_files = E.stage E.max_stage in
   let db_text = String.concat "\n" (List.map (fun (f : E.file) -> f.E.text) db_files) in
-  let gen = Progen.generate ~modules:8 ~fns_per_module:10 () in
+  let gen = Progen.generate ~seed:!seed_flag ~modules:8 ~fns_per_module:10 () in
   let tests =
     [
       Test.make ~name:"lexer: employee db"
@@ -633,6 +644,124 @@ let micro () =
     tests
 
 (* ------------------------------------------------------------------ *)
+(* E10: multicore checking (parcheck scaling)                          *)
+(* ------------------------------------------------------------------ *)
+
+let read_baseline path =
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      match int_of_string_opt (String.trim (input_line ic)) with
+      | Some n -> n
+      | None ->
+          Printf.eprintf "scale: %s does not contain an integer baseline\n"
+            path;
+          exit 2)
+
+let scale () =
+  section "E10: multicore checking -- generated corpora at -j 1/2/4/8";
+  row "  Fixed-seed corpora (seed %d) of 10/50/200 functions, analysed\n"
+    !seed_flag;
+  row "  fresh per run and checked through the Parcheck domain pool.\n";
+  row "  Diagnostics must be identical at every job count; wall-clock,\n";
+  row "  store_ops and speedup are written to BENCH_scale.json.\n";
+  row "  (this machine reports %d available core%s; speedup above 1x needs\n"
+    (Domain.recommended_domain_count ())
+    (if Domain.recommended_domain_count () = 1 then "" else "s");
+  row "  more than one)\n\n";
+  let sizes = [ (2, 5); (10, 5); (20, 10) ] in
+  let jobs_list = [ 1; 2; 4; 8 ] in
+  row "  %9s %5s %10s %12s %10s %9s\n" "functions" "jobs" "time" "store_ops"
+    "elided" "speedup";
+  let records = ref [] in
+  (* sequential store_ops on the largest corpus: the CI regression gate *)
+  let seq_store_ops = ref 0 in
+  List.iter
+    (fun (modules, fns) ->
+      let functions = modules * fns in
+      let p =
+        Progen.generate ~seed:!seed_flag ~modules ~fns_per_module:fns ()
+      in
+      let t1 = ref 0.0 in
+      let reference = ref None in
+      List.iter
+        (fun jobs ->
+          let prog = Progen.analyse p in
+          Telemetry.reset ();
+          Telemetry.set_enabled true;
+          let diags, dt = time (fun () -> Parcheck.check_program ~jobs prog) in
+          let ops = Telemetry.Counter.value Telemetry.c_store_ops in
+          let elided = Telemetry.Counter.value Telemetry.c_store_ops_elided in
+          Telemetry.set_enabled false;
+          Telemetry.reset ();
+          let rendered =
+            List.map Cfront.Diag.to_string
+              (Cfront.Diag.Collector.sort_emission diags)
+          in
+          (match !reference with
+          | None -> reference := Some rendered
+          | Some r ->
+              if r <> rendered then (
+                Printf.eprintf
+                  "scale: -j %d diagnostics differ from -j 1 on the \
+                   %d-function corpus\n"
+                  jobs functions;
+                exit 3));
+          if jobs = 1 then (
+            t1 := dt;
+            seq_store_ops := ops);
+          let speedup = if dt > 0.0 then !t1 /. dt else 1.0 in
+          row "  %9d %5d %9.3fs %12d %10d %8.2fx\n" functions jobs dt ops
+            elided speedup;
+          records :=
+            Telemetry.Json.(
+              Obj
+                [
+                  ("functions", Int functions);
+                  ("jobs", Int jobs);
+                  ("seconds", Float dt);
+                  ("store_ops", Int ops);
+                  ("store_ops_elided", Int elided);
+                  ("diagnostics", Int (List.length rendered));
+                  ("speedup_vs_j1", Float speedup);
+                ])
+            :: !records)
+        jobs_list)
+    sizes;
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "scale");
+          ("seed", Int !seed_flag);
+          ("cores", Int (Domain.recommended_domain_count ()));
+          ("sequential_store_ops", Int !seq_store_ops);
+          ("rows", List (List.rev !records));
+        ])
+  in
+  let oc = open_out "BENCH_scale.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_scale.json\n";
+  match !baseline_flag with
+  | None -> ()
+  | Some path ->
+      let baseline = read_baseline path in
+      (* >10% more sequential store operations than the recorded number
+         means the hot path got slower; fail so CI catches it *)
+      if !seq_store_ops * 10 > baseline * 11 then (
+        Printf.eprintf
+          "scale: sequential store_ops %d regressed >10%% over baseline %d \
+           (%s)\n"
+          !seq_store_ops baseline path;
+        exit 3)
+      else
+        row "  store_ops %d within 10%% of baseline %d (%s)\n" !seq_store_ops
+          baseline path
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -650,14 +779,36 @@ let experiments =
     ("phases", phases);
     ("infer", infer_exp);
     ("micro", micro);
+    ("scale", scale);
   ]
 
 let () =
+  (* peel [-seed N] / [-baseline FILE] off before experiment dispatch *)
+  let rec parse_args acc = function
+    | "-seed" :: v :: rest ->
+        (match int_of_string_opt v with
+        | Some n -> seed_flag := n
+        | None ->
+            Printf.eprintf "bench: -seed expects an integer, got %s\n" v;
+            exit 2);
+        parse_args acc rest
+    | [ "-seed" ] ->
+        Printf.eprintf "bench: -seed expects an integer\n";
+        exit 2
+    | "-baseline" :: v :: rest ->
+        baseline_flag := Some v;
+        parse_args acc rest
+    | [ "-baseline" ] ->
+        Printf.eprintf "bench: -baseline expects a file\n";
+        exit 2
+    | a :: rest -> parse_args (a :: acc) rest
+    | [] -> List.rev acc
+  in
+  let names = parse_args [] (List.tl (Array.to_list Sys.argv)) in
   let requested =
-    match Array.to_list Sys.argv with
-    | [] | [ _ ] -> List.map fst experiments
-    | _ :: args when args = [ "all" ] -> List.map fst experiments
-    | _ :: args -> args
+    match names with
+    | [] | [ "all" ] -> List.map fst experiments
+    | args -> args
   in
   List.iter
     (fun name ->

@@ -20,7 +20,7 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
-    timings json infer_report =
+    timings json infer_report jobs =
   let flags =
     match Annot.Flags.(apply_all default) flag_args with
     | Ok f -> f
@@ -92,10 +92,17 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
       if stats then Format.eprintf "%a%!" Telemetry.pp_stats ();
       0
   | _ ->
-  Check.Checker.check_program prog;
+  (* [-j 0] means "one domain per recommended core".  Checking always
+     goes through the parallel driver — [jobs = 1] is the same per-file
+     code on this domain — so output is identical for every [-j]. *)
+  let jobs = if jobs <= 0 then Parcheck.default_jobs () else jobs in
+  let check_diags = Parcheck.check_program ~jobs prog in
   let table, errs = Check.Suppress.of_pragmas prog.Sema.p_pragmas in
   List.iter (Cfront.Diag.Collector.emit prog.Sema.diags) errs;
-  let all = Cfront.Diag.Collector.sorted prog.Sema.diags in
+  let all =
+    Cfront.Diag.Collector.sort_emission
+      (Cfront.Diag.Collector.all prog.Sema.diags @ check_diags)
+  in
   let kept, suppressed = Check.Suppress.filter table all in
   (* -json: one record per diagnostic (kept and suppressed) on stdout;
      the human summary moves to stderr so stdout stays pure NDJSON *)
@@ -202,6 +209,16 @@ let infer_arg =
            $(b,+inferconstraints) to infer and then check against the \
            synthesized annotations.  See docs/inference.md.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Check files on N parallel worker domains (default 1; 0 means \
+           one per available core).  Output is byte-identical for every \
+           N: diagnostics are buffered per file and emitted in \
+           deterministic (file, line, column, code) order.")
+
 let cmd =
   let doc =
     "static detection of dynamic memory errors (LCLint-style checker)"
@@ -211,7 +228,7 @@ let cmd =
     Term.(
       const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
       $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
-      $ json_arg $ infer_arg)
+      $ json_arg $ infer_arg $ jobs_arg)
 
 (* LCLint heritage: tolerate single-dash spellings of the long flags
    ([-json], [-stats], [-timings], [-infer]) by rewriting them before
@@ -226,6 +243,7 @@ let argv =
          | "-timings" -> [ "--timings" ]
          | "-json" -> [ "--json" ]
          | "-infer" -> [ "--infer" ]
+         | "-jobs" -> [ "--jobs" ]
          | a when String.length a > 1 && a.[0] = '+' -> [ "-f"; a ]
          | a -> [ a ])
        (Array.to_list Sys.argv))

@@ -142,6 +142,14 @@ module Collector = struct
   let sorted c =
     List.stable_sort (fun a b -> Loc.compare_pos a.loc b.loc) (all c)
 
+  let sort_emission ds =
+    List.stable_sort
+      (fun a b ->
+        match Loc.compare_pos a.loc b.loc with
+        | 0 -> String.compare a.code b.code
+        | c -> c)
+      ds
+
   let by_code c code = List.filter (fun d -> d.code = code) (all c)
   let clear c =
     c.rev <- [];

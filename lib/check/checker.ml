@@ -150,7 +150,7 @@ let static_id env =
 
 (** Type of the storage denoted by a reference (best effort). *)
 let rec type_of_ref env (r : Sref.t) : Ctype.t option =
-  match r with
+  match Sref.view r with
   | Sref.Root (Sref.Rlocal n) ->
       Option.map (fun i -> i.li_ty) (find_local env n)
   | Sref.Root (Sref.Rparam (i, _)) ->
@@ -178,7 +178,7 @@ let rec type_of_ref env (r : Sref.t) : Ctype.t option =
     parameter/global annotations for roots).  Used to decide expected
     allocation/null states at interface points. *)
 let annots_of_ref env (r : Sref.t) : Annot.set =
-  match r with
+  match Sref.view r with
   | Sref.Root (Sref.Rlocal n) -> (
       match find_local env n with
       | Some i -> (
@@ -340,16 +340,16 @@ let check_deref env st (r : Sref.t) ~(how : string) ~(access : string) ~loc =
     enum constants and functions (not storage). *)
 let ident_ref env (name : string) : (Sref.t * Ctype.t) option =
   match find_local env name with
-  | Some i -> Some (Sref.Root (Sref.Rlocal name), i.li_ty)
+  | Some i -> Some (Sref.root (Sref.Rlocal name), i.li_ty)
   | None -> (
       match Hashtbl.find_opt env.prog.Sema.p_globals name with
-      | Some gv -> Some (Sref.Root (Sref.Rglobal name), gv.Sema.gv_ty)
+      | Some gv -> Some (Sref.root (Sref.Rglobal name), gv.Sema.gv_ty)
       | None -> None)
 
 (** Ensure a global has an entry in the store (globals are tracked lazily:
     first touch initializes from the declaration). *)
 let touch_global env st (name : string) : Store.t =
-  let r = Sref.Root (Sref.Rglobal name) in
+  let r = Sref.root (Sref.Rglobal name) in
   if Store.mem st r then st
   else
     match Hashtbl.find_opt env.prog.Sema.p_globals name with
@@ -399,7 +399,7 @@ let rec eval env st (e : Ast.expr) : Store.t * value =
   | Ast.Efloat _ -> (st, unit_value (Ctype.Cfloat Ctype.Fdouble))
   | Ast.Estring _ ->
       (* a string literal is static, non-null, defined storage *)
-      let r = Sref.Root (Sref.Rstatic (static_id env)) in
+      let r = Sref.root (Sref.Rstatic (static_id env)) in
       let st =
         Store.set st r
           (Store.mk_refstate ~def:DSdefined ~null:NSnotnull ~alloc:ASstatic
@@ -422,7 +422,7 @@ let rec eval env st (e : Ast.expr) : Store.t * value =
       match ident_ref env name with
       | Some (r, ty) ->
           let st =
-            match r with
+            match Sref.view r with
             | Sref.Root (Sref.Rglobal g) -> touch_global env st g
             | _ -> st
           in
@@ -476,7 +476,7 @@ let rec eval env st (e : Ast.expr) : Store.t * value =
       let ty =
         match Ctype.deref bv.v_ty with Some t -> t | None -> Ctype.int_
       in
-      let r = Option.map (fun r -> Sref.Deref r) bv.v_ref in
+      let r = Option.map (fun r -> Sref.deref r) bv.v_ref in
       let st, value =
         match r with
         | Some r ->
@@ -519,7 +519,7 @@ let rec eval env st (e : Ast.expr) : Store.t * value =
         | Some v when env.flags.Flags.indep_array_elements -> Some (Int64.to_int v)
         | _ -> None
       in
-      let r = Option.map (fun r -> Sref.Index (r, iopt)) bv.v_ref in
+      let r = Option.map (fun r -> Sref.index r iopt) bv.v_ref in
       let value =
         match r with
         | Some r -> value_of_state ty r (Store.get st r)
@@ -650,7 +650,7 @@ and eval_field env st (bv : value) fname ~loc : Store.t * value =
   match bv.v_ref with
   | None -> (st, unit_value fty)
   | Some br ->
-      let r = Sref.Field (br, fname) in
+      let r = Sref.field br fname in
       let st =
         if Store.mem st r then st
         else
@@ -697,7 +697,7 @@ and lval env st (e : Ast.expr) : Store.t * (Sref.t option * Ctype.t) =
       match ident_ref env name with
       | Some (r, ty) ->
           let st =
-            match r with
+            match Sref.view r with
             | Sref.Root (Sref.Rglobal g) -> touch_global env st g
             | _ -> st
           in
@@ -725,7 +725,7 @@ and lval env st (e : Ast.expr) : Store.t * (Sref.t option * Ctype.t) =
       let ty =
         match Ctype.deref bv.v_ty with Some t -> t | None -> Ctype.int_
       in
-      (st, (Option.map (fun r -> Sref.Deref r) bv.v_ref, ty))
+      (st, (Option.map (fun r -> Sref.deref r) bv.v_ref, ty))
   | Ast.Eindex (b, idx) ->
       let st, bv = eval env st b in
       let st, _ = eval env st idx in
@@ -747,7 +747,7 @@ and lval env st (e : Ast.expr) : Store.t * (Sref.t option * Ctype.t) =
             Some (Int64.to_int v)
         | _ -> None
       in
-      (st, (Option.map (fun r -> Sref.Index (r, iopt)) bv.v_ref, ty))
+      (st, (Option.map (fun r -> Sref.index r iopt) bv.v_ref, ty))
   | Ast.Ecast (ty, b) ->
       let st, (r, _) = lval env st b in
       (st, (r, Sema.resolve_ty env.prog ~loc ty))
@@ -771,7 +771,7 @@ and lval_field env st (bv : value) fname : Store.t * (Sref.t option * Ctype.t)
   match bv.v_ref with
   | None -> (st, (None, fty))
   | Some br ->
-      let r = Sref.Field (br, fname) in
+      let r = Sref.field br fname in
       (* materialize from the declaration so the assignment transfer can
          see the field's prior state (e.g. a live only field about to be
          overwritten) *)
@@ -1170,9 +1170,11 @@ and do_assign env st ~(lhs_ref : Sref.t) ~(lhs_ty : Ctype.t) ~(rhs : value)
         | ASowned -> ASdependent
         | ASonly -> (
             match rhs.v_ref with
-            | Some (Sref.Root (Sref.Rfresh _)) | Some (Sref.Root (Sref.Rlocal _)) ->
-                ASonly
-            | Some _ -> ASdependent
+            | Some r -> (
+                match Sref.view r with
+                | Sref.Root (Sref.Rfresh _) | Sref.Root (Sref.Rlocal _) ->
+                    ASonly
+                | _ -> ASdependent)
             | None -> ASonly)
         | a -> a
       in
@@ -1190,7 +1192,10 @@ and do_assign env st ~(lhs_ref : Sref.t) ~(lhs_ty : Ctype.t) ~(rhs : value)
              | Sref.Rfresh _ -> false
              | _ -> true)
           && (match rhs.v_ref with
-             | Some (Sref.Root (Sref.Rfresh _)) -> true
+             | Some r -> (
+                 match Sref.view r with
+                 | Sref.Root (Sref.Rfresh _) -> true
+                 | _ -> false)
              | _ -> false)
         then begin
           emit env ~loc ~code:"onlytrans"
@@ -1324,7 +1329,7 @@ and propagate_def_to_bases env st (r : Sref.t) ~(assigned_def : defstate)
          carries the assigned state *)
       st
   | Some b ->
-      let skip_field = match r with Sref.Field (_, f) -> Some f | _ -> None in
+      let skip_field = match Sref.view r with Sref.Field (_, f) -> Some f | _ -> None in
       let weaken st b' =
         if Sref.Set.mem b' excl then st
         else
@@ -1358,7 +1363,7 @@ and materialize_siblings env st (b : Sref.t) ~skip_field ~loc : Store.t =
       let obj = match Ctype.deref bty with Some t -> t | None -> bty in
       List.fold_left
         (fun st (fl : Sema.field) ->
-          let fr = Sref.Field (b, fl.Sema.sf_name) in
+          let fr = Sref.field b fl.Sema.sf_name in
           if Some fl.Sema.sf_name = skip_field || Store.mem st fr then st
           else
             let def, null =
@@ -1395,7 +1400,7 @@ and incomplete_refs env st (r : Sref.t) : Sref.t list =
         | _ -> false
       in
       match s.Store.rs_def with
-      | _ when relaxed && not (Sref.equal (Sref.Root (Sref.root_of r)) r) ->
+      | _ when relaxed && not (Sref.equal (Sref.root (Sref.root_of r)) r) ->
           (* relaxed field/ref: checking is suppressed (reldef/partial) *)
           acc
       | DSdefined | DSdead | DSerror -> acc
@@ -1413,14 +1418,14 @@ and incomplete_refs env st (r : Sref.t) : Sref.t list =
           (match pointee with
           | Some obj when Ctype.is_aggregate obj -> (
               match Sema.fields_of env.prog obj with
-              | [] -> Sref.Deref r :: acc
+              | [] -> Sref.deref r :: acc
               | fields -> (
                   let missing =
                     List.filter_map
                       (fun (fl : Sema.field) ->
                         if relaxed_field fl then None
                         else
-                          let fr = Sref.Field (r, fl.Sema.sf_name) in
+                          let fr = Sref.field r fl.Sema.sf_name in
                           match Store.find st fr with
                           | Some
                               {
@@ -1435,9 +1440,9 @@ and incomplete_refs env st (r : Sref.t) : Sref.t list =
                      reference per incompletely defined object *)
                   match missing with m :: _ -> m :: acc | [] -> acc))
           | _ -> (
-              match Store.find st (Sref.Deref r) with
+              match Store.find st (Sref.deref r) with
               | Some { Store.rs_def = DSdefined | DSdead | DSerror; _ } -> acc
-              | _ -> Sref.Deref r :: acc))
+              | _ -> Sref.deref r :: acc))
       | DSpdefined ->
           (* recurse into tracked children, honouring relaxed annotations *)
           List.fold_left
@@ -1598,7 +1603,7 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
         in
         if has_obligation alloc then begin
           (* fresh storage: track it so an unconsumed result is a leak *)
-          let r = Sref.Root (Sref.Rfresh (fresh_id env, fname)) in
+          let r = Sref.root (Sref.Rfresh (fresh_id env, fname)) in
           let st =
             Store.set st r
               (Store.mk_refstate ~def ~null ~alloc ~defloc:loc ~nullloc:loc
@@ -1770,7 +1775,7 @@ and check_obligation_transfer env st (fs : Sema.funsig) (p : Sema.param)
           match v.v_ref with
           | Some r -> (
               let an = annots_of_ref env r in
-              match r with
+              match Sref.view r with
               | Sref.Root (Sref.Rlocal n) -> (
                   match find_local env n with
                   | Some { li_param = Some i; _ } -> (
@@ -1833,7 +1838,7 @@ and check_obligation_transfer env st (fs : Sema.funsig) (p : Sema.param)
             in
             List.fold_left
               (fun st (fl : Sema.field) ->
-                let fr = Sref.Field (r, fl.Sema.sf_name) in
+                let fr = Sref.field r fl.Sema.sf_name in
                 if
                   (not (Store.mem st fr))
                   && (match fl.Sema.sf_annots.Sema.an.Annot.an_alloc with
@@ -1958,7 +1963,7 @@ and check_call_globals env st (fs : Sema.funsig) ~loc : Store.t =
       | None -> st
       | Some gv ->
           let st = touch_global env st gname in
-          let r = Sref.Root (Sref.Rglobal gname) in
+          let r = Sref.root (Sref.Rglobal gname) in
           let s = Store.get st r in
           let declared = gv.Sema.gv_annots.Sema.an in
           (* null state must satisfy the declaration unless undef *)
@@ -2068,7 +2073,7 @@ let leak_check_ref ?ignoring env st (r : Sref.t) ~(what : string) ~loc :
 let leak_check_scope env st (vars : (string * localinfo) list) ~loc : Store.t =
   List.fold_left
     (fun st (name, _) ->
-      leak_check_ref env st (Sref.Root (Sref.Rlocal name)) ~what:"scope exit"
+      leak_check_ref env st (Sref.root (Sref.Rlocal name)) ~what:"scope exit"
         ~loc)
     st vars
 
@@ -2096,7 +2101,7 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
           (List.mapi
              (fun i (p : Sema.param) ->
                let s =
-                 Store.get st (Sref.Root (Sref.Rparam (i, p.Sema.pr_name)))
+                 Store.get st (Sref.root (Sref.Rparam (i, p.Sema.pr_name)))
                in
                (s.Store.rs_def, s.Store.rs_alloc))
              env.fs.Sema.fs_params)
@@ -2238,7 +2243,7 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
   let st =
     List.fold_left
       (fun st (i, (p : Sema.param)) ->
-        let r = Sref.Root (Sref.Rparam (i, p.Sema.pr_name)) in
+        let r = Sref.root (Sref.Rparam (i, p.Sema.pr_name)) in
         let s = Store.get st r in
         let an = p.Sema.pr_annots.Sema.an in
         let is_dead = equal_defstate s.Store.rs_def DSdead in
@@ -2290,7 +2295,7 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
   let st =
     List.fold_left
       (fun st (r, (s : Store.refstate)) ->
-        match r with
+        match Sref.view r with
         | Sref.Root (Sref.Rglobal g) -> (
             match Hashtbl.find_opt env.prog.Sema.p_globals g with
             | None -> st
@@ -2362,7 +2367,7 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
   let st =
     List.fold_left
       (fun st (r, _) ->
-        match r with
+        match Sref.view r with
         | Sref.Root (Sref.Rfresh _) -> leak_check_ref env st r ~what:"return" ~loc
         | _ -> st)
       st (Store.bindings st)
@@ -2413,7 +2418,10 @@ let rec exec env st (stmt : Ast.stmt) : Store.t =
         let st, v = eval env st e in
         (* an unconsumed only result is an immediate leak *)
         (match v.v_ref with
-        | Some (Sref.Root (Sref.Rfresh _) as r) ->
+        | Some r
+          when match Sref.view r with
+               | Sref.Root (Sref.Rfresh _) -> true
+               | _ -> false ->
             leak_check_ref env st r ~what:"statement end" ~loc
         | _ -> st)
     | Ast.Sassert e ->
@@ -2564,7 +2572,7 @@ and exec_decl env ~loc st (d : Ast.decl) : Store.t =
     let set = Annot.override ~base:(Sema.typedef_annots env.prog ty) ~decl:set in
     add_local env d.d_name
       { li_ty = ty; li_annots = set; li_loc = d.d_loc; li_param = None };
-    let r = Sref.Root (Sref.Rlocal d.d_name) in
+    let r = Sref.root (Sref.Rlocal d.d_name) in
     let st = Store.drop_root st (Sref.Rlocal d.d_name) in
     match d.d_init with
     | Some (Ast.Iexpr e) ->
@@ -2670,8 +2678,8 @@ let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
           entry_state env ~ty:p.Sema.pr_ty ~annots:p.Sema.pr_annots.Sema.an
             ~loc:p.Sema.pr_loc
         in
-        let local = Sref.Root (Sref.Rlocal p.Sema.pr_name) in
-        let extern = Sref.Root (Sref.Rparam (i, p.Sema.pr_name)) in
+        let local = Sref.root (Sref.Rlocal p.Sema.pr_name) in
+        let extern = Sref.root (Sref.Rparam (i, p.Sema.pr_name)) in
         let st = Store.set st local s in
         let st = Store.set st extern s in
         if env.flags.Flags.alias_tracking then Store.add_alias st local extern

@@ -54,16 +54,63 @@ let empty = { map = Sref.Map.empty; reachable = true }
 let find st r = Sref.Map.find_opt r st.map
 let mem st r = Sref.Map.mem r st.map
 let get st r = match find st r with Some s -> s | None -> unknown_refstate
+
+(* Would writing [b] over the existing binding [a] change anything an
+   observer can see?  Alias sets are compared physically: [Set.add] /
+   [Set.remove] return their argument unchanged on a no-op, so the
+   no-change case is physical equality in practice.  Location options are
+   small immutable records, compared structurally. *)
+(* location options flow through [{ old with ... }] copies untouched, so
+   the same-value case is physical equality in practice; the structural
+   fallback only fires when a fresh but identical loc was attached *)
+let same_loc a b =
+  a == b || match (a, b) with Some la, Some lb -> la == lb || la = lb | _ -> false
+
+let refstate_same (a : refstate) (b : refstate) =
+  a == b
+  || equal_defstate a.rs_def b.rs_def
+     && equal_nullstate a.rs_null b.rs_null
+     && equal_allocstate a.rs_alloc b.rs_alloc
+     && Bool.equal a.rs_offset b.rs_offset
+     && a.rs_aliases == b.rs_aliases
+     && same_loc a.rs_defloc b.rs_defloc
+     && same_loc a.rs_nullloc b.rs_nullloc
+     && same_loc a.rs_allocloc b.rs_allocloc
+
 (* every store rewrite ticks the [store_ops] telemetry counter: the
    paper's complexity claim is that checking is linear in store traffic,
-   so this is the number optimisation PRs watch *)
+   so this is the number optimisation PRs watch.  Writes that cannot
+   change the store (same state already bound) are elided — no tree
+   rebuild — and tick [store_ops_elided] instead. *)
 let set st r s =
-  Telemetry.Counter.tick Telemetry.c_store_ops;
-  { st with map = Sref.Map.add r s st.map }
+  (* single tree traversal: [update] both reads the old binding and
+     writes the new one; returning the old refstate on a no-op makes
+     [update] hand back the map physically unchanged *)
+  let map =
+    Sref.Map.update r
+      (function Some old when refstate_same old s -> Some old | _ -> Some s)
+      st.map
+  in
+  if map == st.map then begin
+    Telemetry.Counter.tick Telemetry.c_store_ops_elided;
+    st
+  end
+  else begin
+    Telemetry.Counter.tick Telemetry.c_store_ops;
+    { st with map }
+  end
 
 let remove st r =
-  Telemetry.Counter.tick Telemetry.c_store_ops;
-  { st with map = Sref.Map.remove r st.map }
+  (* [Map.remove] returns its argument physically when [r] is unbound *)
+  let map = Sref.Map.remove r st.map in
+  if map == st.map then begin
+    Telemetry.Counter.tick Telemetry.c_store_ops_elided;
+    st
+  end
+  else begin
+    Telemetry.Counter.tick Telemetry.c_store_ops;
+    { st with map }
+  end
 let unreachable st = { st with reachable = false }
 let is_reachable st = st.reachable
 let bindings st = Sref.Map.bindings st.map
@@ -119,11 +166,11 @@ let rec location_images st r : Sref.Set.t =
       (fun b' acc -> Sref.Set.add (mk b') acc)
       (value_images_at st b) Sref.Set.empty
   in
-  match r with
+  match Sref.view r with
   | Sref.Root _ -> Sref.Set.singleton r
-  | Sref.Field (b, f) -> rewrite b (fun b' -> Sref.Field (b', f))
-  | Sref.Deref b -> rewrite b (fun b' -> Sref.Deref b')
-  | Sref.Index (b, i) -> rewrite b (fun b' -> Sref.Index (b', i))
+  | Sref.Field (b, f) -> rewrite b (fun b' -> Sref.field b' f)
+  | Sref.Deref b -> rewrite b (fun b' -> Sref.deref b')
+  | Sref.Index (b, i) -> rewrite b (fun b' -> Sref.index b' i)
 
 (** Locations that may hold the same pointer value as [r]: [r]'s location
     names plus their recorded direct edges. *)
@@ -138,9 +185,13 @@ let value_images = value_images_at
 (** Backwards-compatible name: the same-value closure. *)
 let alias_images = value_images
 
-(** Apply [f] to [r] and every same-value name (object-state updates). *)
+(** Apply [f] to [r] and every same-value name (object-state updates).
+    A root with no recorded edges is its own only image — the common
+    case, worth skipping the closure computation for. *)
 let update_images st r f =
-  Sref.Set.fold (fun r' st -> update st r' f) (value_images st r) st
+  match Sref.view r with
+  | Sref.Root _ when Sref.Set.is_empty (aliases_of st r) -> update st r f
+  | _ -> Sref.Set.fold (fun r' st -> update st r' f) (value_images st r) st
 
 let set_def ?loc st r d =
   update_images st r (fun s -> { s with rs_def = d; rs_defloc = loc })
@@ -221,9 +272,21 @@ let merge ~(on_conflict : conflict -> unit) (a : t) (b : t) : t =
   | false, false -> { a with reachable = false }
   | false, true -> b
   | true, false -> a
+  | true, true when a.map == b.map ->
+      (* common for an [if] without [else] whose branch left the store
+         untouched: nothing to reconcile *)
+      a
   | true, true ->
       let merge_one r (sa : refstate option) (sb : refstate option) :
           refstate option =
+        match (sa, sb) with
+        | Some xa, Some xb when xa == xb ->
+            (* branches that did not touch this reference share its
+               refstate physically; merging it with itself is the
+               identity (same def/null/alloc, union of equal alias
+               sets) and can raise no conflict *)
+            sa
+        | _ ->
         let other_def = function
           | Some (x : refstate) -> x.rs_def
           | None -> DSdefined
@@ -256,14 +319,16 @@ let merge ~(on_conflict : conflict -> unit) (a : t) (b : t) : t =
         in
         let alloc =
           (* once the storage is dead on some path (or was reported), the
-             allocation-state combination carries no new information *)
-          if
-            equal_defstate xa.rs_def DSdead
-            || equal_defstate xb.rs_def DSdead
-            || equal_defstate def DSerror
-          then
-            if equal_defstate xa.rs_def DSdead then xb.rs_alloc
-            else xa.rs_alloc
+             allocation-state combination carries no new information; the
+             choices below are symmetric in the two branches, so merge
+             commutes (a property test pins this down) *)
+          if equal_defstate def DSerror then ASerror
+          else if equal_defstate xa.rs_def DSdead then
+            if equal_defstate xb.rs_def DSdead then
+              if equal_allocstate xa.rs_alloc xb.rs_alloc then xa.rs_alloc
+              else ASerror
+            else xb.rs_alloc
+          else if equal_defstate xb.rs_def DSdead then xa.rs_alloc
           else
             match merge_alloc xa.rs_alloc xb.rs_alloc with
             | Ok al -> al
@@ -277,7 +342,9 @@ let merge ~(on_conflict : conflict -> unit) (a : t) (b : t) : t =
             rs_null = merge_null xa.rs_null xb.rs_null;
             rs_alloc = alloc;
             rs_offset = xa.rs_offset || xb.rs_offset;
-            rs_aliases = Sref.Set.union xa.rs_aliases xb.rs_aliases;
+            rs_aliases =
+              (if xa.rs_aliases == xb.rs_aliases then xa.rs_aliases
+               else Sref.Set.union xa.rs_aliases xb.rs_aliases);
             rs_defloc = (if xa.rs_defloc <> None then xa.rs_defloc else xb.rs_defloc);
             rs_nullloc =
               (if equal_nullstate xa.rs_null xb.rs_null then xa.rs_nullloc

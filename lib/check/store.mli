@@ -37,6 +37,10 @@ val find : t -> Sref.t -> refstate option
 val mem : t -> Sref.t -> bool
 val get : t -> Sref.t -> refstate
 val set : t -> Sref.t -> refstate -> t
+(** Bind (ticks the [store_ops] counter).  A write indistinguishable
+    from the existing binding is elided — the store comes back
+    physically unchanged and [store_ops_elided] ticks instead. *)
+
 val remove : t -> Sref.t -> t
 val update : t -> Sref.t -> (refstate -> refstate) -> t
 val bindings : t -> (Sref.t * refstate) list

@@ -208,6 +208,24 @@ let summarize (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
         prog fs f;
       (Diag.Collector.all scratch, List.rev !exits)
 
+(* Summaries of the CURRENT installed-signature state, by function name.
+   Probing re-derives the baseline summary of a function for every
+   candidate it tries; within one SCC round that baseline only changes
+   when a candidate is accepted (the annotated signature stays
+   installed) or the widening pass reinstalls signatures — so the cache
+   is filled lazily and reset wholesale on either event.  [try_cand]'s
+   temporary installs bypass it.  This roughly halves the checker runs
+   of [run] without changing any acceptance decision. *)
+type summary_cache = (string, Diag.t list * Check.Checker.exit_info list) Hashtbl.t
+
+let summarize_cached (cache : summary_cache) prog bodies name =
+  match Hashtbl.find_opt cache name with
+  | Some s -> s
+  | None ->
+      let s = summarize prog bodies name in
+      Hashtbl.add cache name s;
+      s
+
 (* Diagnostics are compared by position and category: installing an
    annotation rewords messages ("implicitly temp" becomes "only") but
    never moves source text, so (loc, code) identifies a complaint across
@@ -268,7 +286,7 @@ let ret_gate (c : cand) (exits : Check.Checker.exit_info list) : bool =
    installed; on rejection the original is restored.  Returns whether
    it was accepted. *)
 let try_cand (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
-    (name : string) (c : cand) : bool =
+    (cache : summary_cache) (name : string) (c : cand) : bool =
   let fs0 = Hashtbl.find prog.Sema.p_funcs name in
   (* For return-[only] the interesting comparison is against a
      signature with *no* allocation claim at all: under the default
@@ -288,11 +306,22 @@ let try_cand (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
         }
     | _ -> fs0
   in
-  Sema.update_funsig prog base_fs;
-  let before, _ = summarize prog bodies name in
+  let before, _ =
+    if base_fs == fs0 then
+      (* unchanged baseline signature: reuse the per-SCC summary *)
+      summarize_cached cache prog bodies name
+    else begin
+      Sema.update_funsig prog base_fs;
+      summarize prog bodies name
+    end
+  in
   Sema.update_funsig prog (apply_cand base_fs c);
   let after, exits = summarize prog bodies name in
-  if no_new_diags ~before ~after && ret_gate c exits then true
+  if no_new_diags ~before ~after && ret_gate c exits then begin
+    (* the candidate stays installed: every cached summary may change *)
+    Hashtbl.reset cache;
+    true
+  end
   else begin
     Sema.update_funsig prog fs0;
     false
@@ -312,6 +341,7 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
     (Sema.fundefs prog);
   let cg = Callgraph.build prog in
   let comps = Callgraph.sccs cg in
+  let cache : summary_cache = Hashtbl.create 32 in
   let findings = ref [] in
   let rounds_total = ref 0 in
   let procedures = ref 0 in
@@ -324,7 +354,8 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
       in
       let component_count () =
         List.fold_left
-          (fun acc n -> acc + List.length (fst (summarize prog bodies n)))
+          (fun acc n ->
+            acc + List.length (fst (summarize_cached cache prog bodies n)))
           0 members
       in
       let baseline = component_count () in
@@ -339,7 +370,8 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
           again := false;
           let fs = Hashtbl.find prog.Sema.p_funcs name in
           match
-            List.find_opt (fun c -> try_cand prog bodies name c)
+            List.find_opt
+              (fun c -> try_cand prog bodies cache name c)
               (candidates fs)
           with
           | Some c ->
@@ -372,6 +404,7 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
          most recent annotations until the component checks no worse
          than it originally did. *)
       let reinstall kept_newest_first =
+        Hashtbl.reset cache;
         List.iter (fun (_, fs) -> Sema.update_funsig prog fs) orig;
         List.iter
           (fun fd ->

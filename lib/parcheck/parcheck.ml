@@ -1,0 +1,85 @@
+(** Parallel checking driver (see parcheck.mli for the contract).
+
+    The unit of work is one source file: all procedures defined in a file
+    form one task, tasks are claimed from a shared [Atomic] counter by a
+    small pool of OCaml 5 domains, and each task checks against its own
+    {!Sema.copy_for_check} of the program, so no mutable state — symbol
+    tables, diagnostic collectors, telemetry, the [Sref] intern tables —
+    is ever shared between domains.
+
+    Determinism: a task's diagnostics depend only on the (immutable)
+    post-sema program, never on what other tasks did, and results are
+    collected positionally, so the returned list is identical for every
+    [jobs] value — including [jobs = 1], which runs the same per-task
+    code on the calling domain without spawning. *)
+
+module Diag = Cfront.Diag
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+(* Group (funsig, fundef) pairs by defining file, preserving the source
+   order of files and of procedures within a file. *)
+let tasks_of_program (prog : Sema.program) :
+    (string * (Sema.funsig * Cfront.Ast.fundef) list) array =
+  let tbl : (string, (Sema.funsig * Cfront.Ast.fundef) list ref) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let order = ref [] in
+  List.iter
+    (fun ((fs : Sema.funsig), _ as pair) ->
+      let file = fs.Sema.fs_loc.Cfront.Loc.file in
+      match Hashtbl.find_opt tbl file with
+      | Some cell -> cell := pair :: !cell
+      | None ->
+          Hashtbl.add tbl file (ref [ pair ]);
+          order := file :: !order)
+    (Sema.fundefs prog);
+  Array.of_list
+    (List.rev_map
+       (fun file -> (file, List.rev !(Hashtbl.find tbl file)))
+       !order)
+
+let check_program ?(jobs = 1) (prog : Sema.program) : Diag.t list =
+  let tasks = tasks_of_program prog in
+  let n = Array.length tasks in
+  (* [copy] guards against concurrent workers mutating the shared symbol
+     tables (block-level declarations reach {!Sema.process_decl} during
+     checking).  Sequentially the copy is pure overhead — per-file
+     checking only reads interfaces established before checking starts —
+     so [jobs = 1] checks the original program in place, exactly like the
+     pre-parallel driver. *)
+  let run_task ~copy i =
+    let _, fds = tasks.(i) in
+    let local = if copy then Sema.copy_for_check prog else prog in
+    let coll = Diag.Collector.create () in
+    List.iter
+      (fun (fs, f) -> Check.Checker.check_fundef ~diags:coll local fs f)
+      fds;
+    Diag.Collector.all coll
+  in
+  let results = Array.make n [] in
+  let jobs = max 1 (min jobs n) in
+  if jobs <= 1 then
+    for i = 0 to n - 1 do
+      results.(i) <- run_task ~copy:false i
+    done
+  else begin
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- run_task ~copy:true i;
+          loop ()
+        end
+      in
+      loop ();
+      (* hand the domain's telemetry (spans, counters, diag counts)
+         back for the main domain to merge after the join *)
+      Telemetry.snapshot ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let snapshots = Array.map Domain.join domains in
+    Array.iter Telemetry.absorb snapshots
+  end;
+  List.concat (Array.to_list results)

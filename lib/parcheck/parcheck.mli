@@ -1,0 +1,27 @@
+(** Parallel checking driver: run the per-procedure checker over a
+    program's files on a pool of OCaml 5 domains ([olclint -j N]).
+
+    Work is partitioned by source file.  Every task checks against its
+    own {!Sema.copy_for_check} of the post-sema program, so tasks share
+    no mutable state; each worker domain records telemetry locally and
+    the recordings are merged back ({!Telemetry.absorb}) after the
+    domains are joined.
+
+    {b Determinism guarantee.}  The returned diagnostics — contents and
+    order — are identical for every [jobs] value: each task's result
+    depends only on the immutable input program, and results are
+    concatenated in task (file) order regardless of which domain
+    finished when.  [jobs = 1] runs the same per-task code on the
+    calling domain without spawning anything. *)
+
+val default_jobs : unit -> int
+(** {!Domain.recommended_domain_count} — what [-j 0] resolves to. *)
+
+val check_program : ?jobs:int -> Sema.program -> Cfront.Diag.t list
+(** Check every procedure of the program with at most [jobs] (default 1)
+    concurrent domains and return the checker's diagnostics in
+    deterministic order: by file in first-definition order, then by
+    emission order within the file.  Frontend/sema diagnostics already
+    collected in the program are untouched (still in [prog.diags]);
+    combine and sort with {!Cfront.Diag.Collector.sort_emission} for
+    final output. *)

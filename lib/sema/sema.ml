@@ -559,6 +559,23 @@ let analyze_spec_string ?(flags = Flags.default) ?into ~file src : program =
   analyze_string ~flags ~spec_mode:true ?into ~file src
 
 
+(** A disconnected copy for one parallel checking task.  Checking a body
+    can extend the symbol tables (block-scope typedefs, struct and extern
+    declarations go through {!process_decl}), so concurrent workers must
+    not share them; the copy gets fresh tables and a fresh diagnostics
+    collector while sharing every immutable value (signatures, types,
+    ASTs) with the original. *)
+let copy_for_check p =
+  {
+    p with
+    p_structs = Hashtbl.copy p.p_structs;
+    p_typedefs = Hashtbl.copy p.p_typedefs;
+    p_enum_consts = Hashtbl.copy p.p_enum_consts;
+    p_funcs = Hashtbl.copy p.p_funcs;
+    p_globals = Hashtbl.copy p.p_globals;
+    diags = Diag.Collector.create ();
+  }
+
 (* Source-order views of the reversed accumulators. *)
 let fundefs p = List.rev p.p_fundefs_rev
 let struct_order p = List.rev p.p_struct_order_rev

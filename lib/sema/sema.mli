@@ -96,6 +96,13 @@ type program = {
 
 val create_program : ?flags:Flags.t -> file:string -> unit -> program
 
+val copy_for_check : program -> program
+(** A disconnected copy for one parallel checking task: fresh symbol
+    tables and a fresh diagnostics collector, sharing every immutable
+    value (signatures, types, ASTs) with the original.  Checking a body
+    can extend the tables through {!process_decl}, so concurrent workers
+    must each check against their own copy. *)
+
 val typedef_annots : program -> Ctype.t -> Annot.set
 (** Annotations inherited from the typedef layers of a type. *)
 

@@ -2,6 +2,9 @@
 
 module Json = Json
 
+(* Toggled on the main domain before any worker domains are spawned and
+   read-only afterwards, so the plain ref is safe to read from workers
+   (no tearing on an immediate value, and no concurrent writes). *)
 let enabled_flag = ref false
 let enabled () = !enabled_flag
 let set_enabled b = enabled_flag := b
@@ -29,10 +32,28 @@ type frame = {
   mutable f_children : span list;  (** reverse completion order *)
 }
 
-let stack : frame list ref = ref []
-let roots : span list ref = ref []  (* reverse completion order *)
+(* ------------------------------------------------------------------ *)
+(* Per-domain state                                                    *)
+(* ------------------------------------------------------------------ *)
 
-let close_frame fr =
+(* All recording is domain-local: every domain accumulates into its own
+   span forest and counter slots, and the parallel driver merges worker
+   recordings into the main domain with {!snapshot}/{!absorb}.  Counter
+   ids come from a single mutex-guarded registry so the per-domain value
+   arrays line up. *)
+type state = {
+  mutable st_stack : frame list;
+  mutable st_roots : span list;  (* reverse completion order *)
+  mutable st_counts : int array;  (* indexed by Counter id *)
+}
+
+let state_key : state Domain.DLS.key =
+  Domain.DLS.new_key (fun () ->
+      { st_stack = []; st_roots = []; st_counts = Array.make 64 0 })
+
+let state () = Domain.DLS.get state_key
+
+let close_frame st fr =
   let sp =
     {
       sp_name = fr.f_name;
@@ -48,14 +69,15 @@ let close_frame fr =
     | _ :: rest -> pop rest
     | [] -> []
   in
-  stack := pop !stack;
-  match !stack with
+  st.st_stack <- pop st.st_stack;
+  match st.st_stack with
   | parent :: _ -> parent.f_children <- sp :: parent.f_children
-  | [] -> roots := sp :: !roots
+  | [] -> st.st_roots <- sp :: st.st_roots
 
 let with_span ?file ?label name f =
   if not !enabled_flag then f ()
   else begin
+    let st = state () in
     let fr =
       {
         f_name = name;
@@ -65,48 +87,105 @@ let with_span ?file ?label name f =
         f_children = [];
       }
     in
-    stack := fr :: !stack;
+    st.st_stack <- fr :: st.st_stack;
     match f () with
     | v ->
-        close_frame fr;
+        close_frame st fr;
         v
     | exception e ->
-        close_frame fr;
+        close_frame st fr;
         raise e
   end
 
-let spans () = List.rev !roots
+let spans () = List.rev (state ()).st_roots
 
 (* ------------------------------------------------------------------ *)
 (* Counters                                                            *)
 (* ------------------------------------------------------------------ *)
 
 module Counter = struct
-  type t = { c_name : string; mutable c_value : int }
+  type t = { c_name : string; c_id : int }
 
-  let registry : (string, t) Hashtbl.t = Hashtbl.create 32
+  (* Registry of counter names -> dense ids, shared by every domain. *)
+  let mu = Mutex.create ()
+  let by_name : (string, t) Hashtbl.t = Hashtbl.create 32
+  let names = ref (Array.make 64 "")
+  let registered = ref 0
 
   let make name =
-    match Hashtbl.find_opt registry name with
-    | Some c -> c
-    | None ->
-        let c = { c_name = name; c_value = 0 } in
-        Hashtbl.add registry name c;
-        c
+    Mutex.protect mu (fun () ->
+        match Hashtbl.find_opt by_name name with
+        | Some c -> c
+        | None ->
+            let id = !registered in
+            incr registered;
+            if id >= Array.length !names then begin
+              let bigger = Array.make (2 * Array.length !names) "" in
+              Array.blit !names 0 bigger 0 (Array.length !names);
+              names := bigger
+            end;
+            !names.(id) <- name;
+            let c = { c_name = name; c_id = id } in
+            Hashtbl.add by_name name c;
+            c)
 
-  let tick c = if !enabled_flag then c.c_value <- c.c_value + 1
-  let add c n = if !enabled_flag then c.c_value <- c.c_value + n
-  let value c = c.c_value
+  let ensure st id =
+    if id >= Array.length st.st_counts then begin
+      let bigger = Array.make (max (2 * Array.length st.st_counts) (id + 1)) 0 in
+      Array.blit st.st_counts 0 bigger 0 (Array.length st.st_counts);
+      st.st_counts <- bigger
+    end
+
+  (* Unconditional (enabled or not): used by [absorb]. *)
+  let add_always c n =
+    let st = state () in
+    ensure st c.c_id;
+    st.st_counts.(c.c_id) <- st.st_counts.(c.c_id) + n
+
+  let add c n = if !enabled_flag then add_always c n
+  let tick c = add c 1
+
+  let value c =
+    let st = state () in
+    if c.c_id < Array.length st.st_counts then st.st_counts.(c.c_id) else 0
+
   let name c = c.c_name
+
+  let registry_snapshot () =
+    Mutex.protect mu (fun () -> (Array.sub !names 0 !registered : string array))
 end
 
-let count name n = if !enabled_flag then Counter.add (Counter.make name) n
+let count name n = if !enabled_flag then Counter.add_always (Counter.make name) n
 
 let counters () =
-  Hashtbl.fold
-    (fun name c acc -> if c.Counter.c_value <> 0 then (name, c.Counter.c_value) :: acc else acc)
-    Counter.registry []
-  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  let st = state () in
+  let names = Counter.registry_snapshot () in
+  let acc = ref [] in
+  for i = Array.length names - 1 downto 0 do
+    let v = if i < Array.length st.st_counts then st.st_counts.(i) else 0 in
+    if v <> 0 then acc := (names.(i), v) :: !acc
+  done;
+  List.sort (fun (a, _) (b, _) -> String.compare a b) !acc
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots (cross-domain merge)                                      *)
+(* ------------------------------------------------------------------ *)
+
+type snapshot = {
+  sn_roots : span list;  (* reverse completion order *)
+  sn_counts : (string * int) list;
+}
+
+let snapshot () =
+  let st = state () in
+  { sn_roots = st.st_roots; sn_counts = counters () }
+
+let absorb sn =
+  let st = state () in
+  st.st_roots <- sn.sn_roots @ st.st_roots;
+  List.iter
+    (fun (name, v) -> Counter.add_always (Counter.make name) v)
+    sn.sn_counts
 
 (* ------------------------------------------------------------------ *)
 (* Well-known names                                                    *)
@@ -123,6 +202,8 @@ let c_tokens = Counter.make "tokens"
 let c_ast_nodes = Counter.make "ast_nodes"
 let c_procedures = Counter.make "procedures_checked"
 let c_store_ops = Counter.make "store_ops"
+let c_store_ops_elided = Counter.make "store_ops_elided"
+let c_srefs_interned = Counter.make "srefs_interned"
 let c_infer_rounds = Counter.make "infer_rounds"
 let c_infer_summaries = Counter.make "infer_summaries"
 let c_infer_annots = Counter.make "infer_annotations"
@@ -130,9 +211,10 @@ let c_suppressed = Counter.make "suppressed_total"
 let diag_counter_prefix = "diag."
 
 let reset () =
-  stack := [];
-  roots := [];
-  Hashtbl.iter (fun _ c -> c.Counter.c_value <- 0) Counter.registry
+  let st = state () in
+  st.st_stack <- [];
+  st.st_roots <- [];
+  Array.fill st.st_counts 0 (Array.length st.st_counts) 0
 
 (* ------------------------------------------------------------------ *)
 (* Aggregation                                                         *)

@@ -11,9 +11,15 @@
 
     Timers use the wall clock; elapsed times are clamped at zero so a
     clock step backwards can never produce a negative (non-monotonic)
-    phase time.  The recorder is process-global and not thread-safe — the
-    checker is single-threaded by design (one procedure at a time,
-    paper Section 5).
+    phase time.  The recorder is {e domain-local}: every domain (the main
+    one and each [-j] worker) accumulates spans and counter values into
+    its own state, and the parallel driver merges worker recordings into
+    the main domain with {!snapshot}/{!absorb} after joining them.
+    Counter handles are registered in one shared (mutex-guarded) table so
+    the per-domain value slots line up across domains.  The reporters
+    ({!counters}, {!pp_stats}, {!to_json}, …) read the calling domain's
+    state — call them on the main domain after absorbing.
+    {!set_enabled} must only be toggled while no worker domains run.
 
     {!Json} re-exports the hand-rolled JSON encoder shared by the
     [-json] diagnostic records and {!to_json}. *)
@@ -24,8 +30,24 @@ val enabled : unit -> bool
 val set_enabled : bool -> unit
 
 val reset : unit -> unit
-(** Drop all recorded spans and zero every counter (registrations
-    survive). *)
+(** Drop the calling domain's recorded spans and zero its counters
+    (registrations survive). *)
+
+(** {1 Cross-domain merge} *)
+
+type snapshot
+(** A domain's complete recording (span forest + counter values). *)
+
+val snapshot : unit -> snapshot
+(** Capture the calling domain's recording (does not clear it).  A [-j]
+    worker calls this as its last act; the result is joined back to the
+    main domain. *)
+
+val absorb : snapshot -> unit
+(** Merge a snapshot into the calling domain: counter values add up,
+    the snapshot's root spans are appended to the local forest.  Works
+    even while telemetry is disabled (a disabled run's snapshot is
+    empty, so this is then a no-op in effect). *)
 
 (** {1 Spans} *)
 
@@ -88,6 +110,14 @@ val c_tokens : Counter.t
 val c_ast_nodes : Counter.t
 val c_procedures : Counter.t
 val c_store_ops : Counter.t
+
+val c_store_ops_elided : Counter.t
+(** Store writes skipped because the new refstate was indistinguishable
+    from the existing binding (see docs/performance.md). *)
+
+val c_srefs_interned : Counter.t
+(** Distinct storage references hash-consed by the checker's [Sref]
+    intern table (fresh entries only; hits are free). *)
 
 val c_infer_rounds : Counter.t
 (** Fixpoint rounds executed by the annotation-inference pass. *)

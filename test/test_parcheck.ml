@@ -1,0 +1,72 @@
+(* The parallel driver's determinism contract: checking the examples
+   corpus with one worker and with four must produce identical JSON
+   diagnostics, in the same order, byte for byte (what `olclint -j`
+   promises its users). *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let examples =
+  [
+    "../examples/clean.c";
+    "../examples/list.c";
+    "../examples/list_plain.c";
+    "../examples/sample.c";
+  ]
+
+(* a fresh environment per run: checking may extend symbol tables, so
+   the two runs must not share one *)
+let analyze_examples () =
+  let flags = Annot.Flags.default in
+  let prog = Stdspec.environment ~flags () in
+  List.iter
+    (fun file ->
+      let typedefs =
+        Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
+      in
+      let tu = Cfront.Parser.parse_string ~typedefs ~file (read_file file) in
+      ignore (Sema.analyze ~flags ~into:prog tu))
+    examples;
+  prog
+
+(* exactly the CLI's emission: frontend + check diagnostics, sorted *)
+let render prog check_diags =
+  String.concat "\n"
+    (List.map
+       (fun d -> Telemetry.Json.to_string (Cfront.Diag.to_json d))
+       (Cfront.Diag.Collector.sort_emission
+          (Cfront.Diag.Collector.all prog.Sema.diags @ check_diags)))
+
+let test_seq_vs_parallel () =
+  let p1 = analyze_examples () in
+  let seq = render p1 (Parcheck.check_program ~jobs:1 p1) in
+  let p4 = analyze_examples () in
+  let par = render p4 (Parcheck.check_program ~jobs:4 p4) in
+  Alcotest.(check bool) "some diagnostics produced" true
+    (String.length seq > 0);
+  Alcotest.(check string) "sequential vs -j 4 JSON" seq par
+
+let test_more_jobs_than_tasks () =
+  let p1 = analyze_examples () in
+  let want = render p1 (Parcheck.check_program ~jobs:1 p1) in
+  let p64 = analyze_examples () in
+  let got = render p64 (Parcheck.check_program ~jobs:64 p64) in
+  Alcotest.(check string) "jobs > tasks is clamped and identical" want got
+
+let test_default_jobs () =
+  Alcotest.(check bool) "default_jobs is positive" true
+    (Parcheck.default_jobs () >= 1)
+
+let () =
+  Alcotest.run "parcheck"
+    [
+      ( "determinism",
+        [
+          Alcotest.test_case "sequential vs -j 4" `Quick test_seq_vs_parallel;
+          Alcotest.test_case "jobs > tasks" `Quick test_more_jobs_than_tasks;
+          Alcotest.test_case "default jobs" `Quick test_default_jobs;
+        ] );
+    ]

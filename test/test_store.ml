@@ -7,9 +7,9 @@ module Sref = Check.Sref
 
 let loc = Cfront.Loc.make ~file:"t.c" ~line:1 ~col:1
 
-let v name = Sref.Root (Sref.Rlocal name)
-let g name = Sref.Root (Sref.Rglobal name)
-let fld b f = Sref.Field (b, f)
+let v name = Sref.root (Sref.Rlocal name)
+let g name = Sref.root (Sref.Rglobal name)
+let fld b f = Sref.field b f
 
 (* ------------------------------------------------------------------ *)
 (* Lattice merges                                                      *)
@@ -113,7 +113,7 @@ let test_store_basic () =
 
 let test_alias_images () =
   (* l aliases argl: updates to l->next reach argl->next *)
-  let l = v "l" and argl = Sref.Root (Sref.Rparam (0, "l")) in
+  let l = v "l" and argl = Sref.root (Sref.Rparam (0, "l")) in
   let st = Store.empty in
   let st = Store.set st l (state ()) in
   let st = Store.set st argl (state ()) in
@@ -222,6 +222,50 @@ let prop_merge_idem =
           equal_defstate (Store.get merged r).Store.rs_def s.Store.rs_def)
         (Store.bindings st))
 
+(* property: merge is commutative in the observable states.  Locations
+   are excluded on purpose — message attribution prefers the first
+   branch's loc — as are conflict orderings; the def/null/alloc lattice
+   outcomes and the alias sets must not depend on branch order. *)
+let all_allocstates =
+  [ ASnone; ASonly; ASshared; ASowned; ASdependent; ASkept; AStemp;
+    ASobserver ]
+
+let gen_states =
+  QCheck.(
+    list_of_size
+      Gen.(int_bound 6)
+      (quad (int_bound 3) (int_bound 5) (int_bound 4) (int_bound 7)))
+
+let store_of entries =
+  List.fold_left
+    (fun st (i, d, n, a) ->
+      let r = v (Printf.sprintf "x%d" i) in
+      Store.set st r
+        (state
+           ~def:(List.nth all_defstates d)
+           ~null:(List.nth all_nullstates n)
+           ~alloc:(List.nth all_allocstates a)
+           ()))
+    Store.empty entries
+
+let prop_merge_comm =
+  QCheck.Test.make ~count:300
+    ~name:"store merge commutative on def/null/alloc/aliases"
+    QCheck.(pair gen_states gen_states)
+    (fun (ea, eb) ->
+      let a = store_of ea and b = store_of eb in
+      let ab = Store.merge ~on_conflict:(fun _ -> ()) a b in
+      let ba = Store.merge ~on_conflict:(fun _ -> ()) b a in
+      List.for_all
+        (fun (r, (x : Store.refstate)) ->
+          let y = Store.get ba r in
+          equal_defstate x.Store.rs_def y.Store.rs_def
+          && equal_nullstate x.Store.rs_null y.Store.rs_null
+          && equal_allocstate x.Store.rs_alloc y.Store.rs_alloc
+          && Bool.equal x.Store.rs_offset y.Store.rs_offset
+          && Sref.Set.equal x.Store.rs_aliases y.Store.rs_aliases)
+        (Store.bindings ab))
+
 let () =
   Alcotest.run "store"
     [
@@ -247,5 +291,6 @@ let () =
           Alcotest.test_case "unreachable merge" `Quick test_merge_unreachable;
           Alcotest.test_case "derived defaults" `Quick test_merge_derived_default;
           QCheck_alcotest.to_alcotest prop_merge_idem;
+          QCheck_alcotest.to_alcotest prop_merge_comm;
         ] );
     ]
