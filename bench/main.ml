@@ -762,6 +762,128 @@ let scale () =
           baseline path
 
 (* ------------------------------------------------------------------ *)
+(* E11: the differential soundness oracle                              *)
+(* ------------------------------------------------------------------ *)
+
+let difftest_exp () =
+  section "E11: differential soundness oracle -- static vs run-time";
+  row "  Fixed-seed fuzz sweep (seeds %d..%d): generate a program, run\n"
+    !seed_flag (!seed_flag + 47);
+  row "  the static checker and the interpreter, classify every\n";
+  row "  divergence.  The soundness claim under test: every run-time\n";
+  row "  error has a static witness unless its class is a declared blind\n";
+  row "  spot (footnote 8 / Section 7).  Written to BENCH_difftest.json.\n\n";
+  let trials = List.init 48 (fun i -> Difftest.trial_of_seed (!seed_flag + i)) in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let jobs = min 4 (Parcheck.default_jobs ()) in
+  let outs, dt = time (fun () -> Difftest.sweep ~jobs trials) in
+  let n_trials = Telemetry.Counter.value Telemetry.c_difftest_trials in
+  let n_findings = Telemetry.Counter.value Telemetry.c_difftest_findings in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let all_findings =
+    List.concat_map
+      (fun (o : Difftest.outcome) ->
+        List.map
+          (fun f -> (o.Difftest.o_trial.Difftest.t_seed, f))
+          o.Difftest.o_verdict.Difftest.v_findings)
+      outs
+  in
+  let count kind cls =
+    List.length
+      (List.filter
+         (fun (_, (f : Difftest.finding)) ->
+           f.Difftest.f_kind = kind && f.Difftest.f_class = cls)
+         all_findings)
+  in
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (_, (f : Difftest.finding)) -> f.Difftest.f_class)
+         all_findings)
+  in
+  row "  %-16s %6s %12s %10s %8s\n" "error class" "gaps" "blind-spots"
+    "precision" "harness";
+  let class_rows =
+    List.map
+      (fun cls ->
+        let g = count Difftest.Soundness_gap cls
+        and b = count Difftest.Blind_spot cls
+        and p = count Difftest.Precision_regression cls
+        and h = count Difftest.Harness_bug cls in
+        row "  %-16s %6d %12d %10d %8d\n" cls g b p h;
+        Telemetry.Json.(
+          Obj
+            [
+              ("class", String cls);
+              ("soundness_gaps", Int g);
+              ("blind_spots", Int b);
+              ("precision_regressions", Int p);
+              ("harness_bugs", Int h);
+            ]))
+      classes
+  in
+  let total kind =
+    List.length
+      (List.filter
+         (fun (_, (f : Difftest.finding)) -> f.Difftest.f_kind = kind)
+         all_findings)
+  in
+  let gaps = Difftest.gaps outs in
+  row "\n  %d trials in %.1fs (-j %d): %d divergences, %d excused as\n"
+    n_trials dt jobs n_findings (total Difftest.Blind_spot);
+  row "  declared blind spots, %d soundness gaps, %d precision\n"
+    (total Difftest.Soundness_gap)
+    (total Difftest.Precision_regression);
+  row "  regressions, %d harness bugs\n" (total Difftest.Harness_bug);
+  let finding_json (seed, (f : Difftest.finding)) =
+    Telemetry.Json.(
+      Obj
+        [
+          ("seed", Int seed);
+          ("kind", String (Difftest.kind_string f.Difftest.f_kind));
+          ("class", String f.Difftest.f_class);
+          ("file", String f.Difftest.f_file);
+          ("detail", String f.Difftest.f_detail);
+        ])
+  in
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "difftest");
+          ("seed", Int !seed_flag);
+          ("trials", Int n_trials);
+          ("jobs", Int jobs);
+          ("seconds", Float dt);
+          ( "totals",
+            Obj
+              [
+                ("soundness_gaps", Int (total Difftest.Soundness_gap));
+                ("blind_spots", Int (total Difftest.Blind_spot));
+                ( "precision_regressions",
+                  Int (total Difftest.Precision_regression) );
+                ("harness_bugs", Int (total Difftest.Harness_bug));
+              ] );
+          ("per_class", List class_rows);
+          ("findings", List (List.map finding_json all_findings));
+        ])
+  in
+  let oc = open_out "BENCH_difftest.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_difftest.json\n";
+  (* the CI gate: any non-blind-spot divergence fails the sweep *)
+  if gaps <> [] then begin
+    List.iter
+      (fun (f : Difftest.finding) ->
+        Printf.eprintf "difftest: %s\n" (Fmt.str "%a" Difftest.pp_finding f))
+      gaps;
+    exit 3
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -780,6 +902,7 @@ let experiments =
     ("infer", infer_exp);
     ("micro", micro);
     ("scale", scale);
+    ("difftest", difftest_exp);
   ]
 
 let () =

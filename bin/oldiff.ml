@@ -1,0 +1,144 @@
+(** oldiff — the differential fuzzing front end: generate seeded
+    programs, run the static checker against the run-time baseline, and
+    report every divergence the oracle cannot excuse as a declared
+    blind spot.
+
+    {v
+    oldiff -seed 42 -runs 100            # fixed-seed sweep
+    oldiff -j 4 -runs 200                # trials on a domain pool
+    oldiff -timeout-steps 50000 ...      # interpreter step budget
+    oldiff -reduce DIR ...               # shrink + write reproducers
+    v}
+
+    Exit status: 0 when every divergence is a declared blind spot, 1
+    when a soundness gap / precision regression / harness bug
+    survives, 124 on command-line errors (the cmdliner convention). *)
+
+open Cmdliner
+
+let run seed runs timeout_steps jobs reduce_dir verbose =
+  let jobs = if jobs <= 0 then Parcheck.default_jobs () else jobs in
+  let trials =
+    List.init runs (fun i ->
+        { (Difftest.trial_of_seed (seed + i)) with
+          Difftest.t_max_steps = timeout_steps })
+  in
+  let outs = Difftest.sweep ~jobs trials in
+  let report (o : Difftest.outcome) =
+    List.iter
+      (fun (f : Difftest.finding) ->
+        if verbose || f.Difftest.f_kind <> Difftest.Blind_spot then
+          Format.printf "seed %d  %a@." o.Difftest.o_trial.Difftest.t_seed
+            Difftest.pp_finding f)
+      o.Difftest.o_verdict.Difftest.v_findings
+  in
+  List.iter report outs;
+  (match reduce_dir with
+  | None -> ()
+  | Some dir ->
+      if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+      List.iter
+        (fun (o : Difftest.outcome) ->
+          let t = o.Difftest.o_trial in
+          List.iter
+            (fun (key : Difftest.finding) ->
+              let p =
+                Progen.generate ~seed:t.Difftest.t_seed
+                  ~modules:t.Difftest.t_modules ~fns_per_module:t.Difftest.t_fns
+                  ~bugs:t.Difftest.t_bugs ~coverage:t.Difftest.t_coverage ()
+              in
+              let reduced =
+                Difftest.reduce ~max_steps:t.Difftest.t_max_steps ~key p
+              in
+              let name =
+                Printf.sprintf "seed%d_%s_%s" t.Difftest.t_seed
+                  (Difftest.kind_string key.Difftest.f_kind)
+                  key.Difftest.f_class
+              in
+              Difftest.write_regression ~dir ~name ~trial:t key reduced;
+              Format.printf "reduced seed %d %s: %d -> %d lines (%s/%s.c)@."
+                t.Difftest.t_seed key.Difftest.f_class p.Progen.loc
+                reduced.Progen.loc dir name)
+            o.Difftest.o_verdict.Difftest.v_findings)
+        outs);
+  let gaps = Difftest.gaps outs in
+  let blind =
+    List.fold_left
+      (fun acc (o : Difftest.outcome) ->
+        acc
+        + List.length
+            (List.filter
+               (fun (f : Difftest.finding) ->
+                 f.Difftest.f_kind = Difftest.Blind_spot)
+               o.Difftest.o_verdict.Difftest.v_findings))
+      0 outs
+  in
+  Format.printf "%d trial%s (-j %d): %d blind-spot divergence%s excused, \
+                 %d finding%s kept@."
+    runs
+    (if runs = 1 then "" else "s")
+    jobs blind
+    (if blind = 1 then "" else "s")
+    (List.length gaps)
+    (if List.length gaps = 1 then "" else "s");
+  if gaps = [] then 0 else 1
+
+let seed_arg =
+  Arg.(
+    value & opt int 42
+    & info [ "seed" ] ~docv:"N" ~doc:"First fuzz seed (trials use seed..seed+runs-1).")
+
+let runs_arg =
+  Arg.(
+    value & opt int 50
+    & info [ "runs" ] ~docv:"N" ~doc:"Number of differential trials.")
+
+let timeout_steps_arg =
+  Arg.(
+    value & opt int 200_000
+    & info [ "timeout-steps" ] ~docv:"N"
+        ~doc:"Interpreter step budget per trial (looping programs abort \
+              cleanly past it).")
+
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:"Worker domains for the sweep (0 = all cores).")
+
+let reduce_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "reduce" ] ~docv:"DIR"
+        ~doc:"Delta-debug every divergence and write minimized \
+              reproducers (.c + .json triage records) into $(docv).")
+
+let verbose_arg =
+  Arg.(
+    value & flag
+    & info [ "verbose" ] ~doc:"Also print excused blind-spot divergences.")
+
+let cmd =
+  let doc = "differential fuzzing of the static checker against the \
+             run-time baseline" in
+  Cmd.v
+    (Cmd.info "oldiff" ~version:"1.0" ~doc)
+    Term.(
+      const run $ seed_arg $ runs_arg $ timeout_steps_arg $ jobs_arg
+      $ reduce_arg $ verbose_arg)
+
+(* accept the LCLint-style single-dash spellings too *)
+let argv =
+  Array.map
+    (function
+      | "-seed" -> "--seed"
+      | "-runs" -> "--runs"
+      | "-timeout-steps" -> "--timeout-steps"
+      | "-jobs" -> "--jobs"
+      | "-reduce" -> "--reduce"
+      | "-verbose" -> "--verbose"
+      | a -> a)
+    Sys.argv
+
+let () = exit (Cmd.eval' ~argv cmd)

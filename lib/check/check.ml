@@ -11,6 +11,7 @@ module Store = Store
 module Checker = Checker
 module Suppress = Suppress
 module Libspec = Libspec
+module Errclass = Errclass
 
 open Cfront
 module Flags = Annot.Flags

@@ -8,6 +8,7 @@ module Store = Store
 module Checker = Checker
 module Suppress = Suppress
 module Libspec = Libspec
+module Errclass = Errclass
 module Flags = Annot.Flags
 
 type result = {

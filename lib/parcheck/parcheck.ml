@@ -39,47 +39,60 @@ let tasks_of_program (prog : Sema.program) :
        (fun file -> (file, List.rev !(Hashtbl.find tbl file)))
        !order)
 
+(* The generic domain pool behind [check_program] — also reused by the
+   differential-testing harness (independent fuzz trials) and [oldiff].
+   Tasks are claimed from an [Atomic] counter, results land positionally
+   (so the output order never depends on domain scheduling), and each
+   worker's telemetry recording is merged back after the join. *)
+let map_tasks ~jobs (n : int) (f : par:bool -> int -> 'a) : 'a array =
+  if n = 0 then [||]
+  else begin
+    let jobs = max 1 (min jobs n) in
+    if jobs <= 1 then Array.init n (fun i -> f ~par:false i)
+    else begin
+      let results = Array.make n None in
+      let next = Atomic.make 0 in
+      let worker () =
+        let rec loop () =
+          let i = Atomic.fetch_and_add next 1 in
+          if i < n then begin
+            results.(i) <- Some (f ~par:true i);
+            loop ()
+          end
+        in
+        loop ();
+        (* hand the domain's telemetry (spans, counters, diag counts)
+           back for the main domain to merge after the join *)
+        Telemetry.snapshot ()
+      in
+      let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+      let snapshots = Array.map Domain.join domains in
+      Array.iter Telemetry.absorb snapshots;
+      Array.map
+        (function
+          | Some r -> r
+          | None -> assert false (* every index < n was claimed *))
+        results
+    end
+  end
+
 let check_program ?(jobs = 1) (prog : Sema.program) : Diag.t list =
   let tasks = tasks_of_program prog in
-  let n = Array.length tasks in
-  (* [copy] guards against concurrent workers mutating the shared symbol
-     tables (block-level declarations reach {!Sema.process_decl} during
-     checking).  Sequentially the copy is pure overhead — per-file
+  (* [par] (running on a worker domain) forces a {!Sema.copy_for_check}
+     per task: it guards against concurrent workers mutating the shared
+     symbol tables (block-level declarations reach {!Sema.process_decl}
+     during checking).  Sequentially the copy is pure overhead — per-file
      checking only reads interfaces established before checking starts —
      so [jobs = 1] checks the original program in place, exactly like the
      pre-parallel driver. *)
-  let run_task ~copy i =
+  let run_task ~par i =
     let _, fds = tasks.(i) in
-    let local = if copy then Sema.copy_for_check prog else prog in
+    let local = if par then Sema.copy_for_check prog else prog in
     let coll = Diag.Collector.create () in
     List.iter
       (fun (fs, f) -> Check.Checker.check_fundef ~diags:coll local fs f)
       fds;
     Diag.Collector.all coll
   in
-  let results = Array.make n [] in
-  let jobs = max 1 (min jobs n) in
-  if jobs <= 1 then
-    for i = 0 to n - 1 do
-      results.(i) <- run_task ~copy:false i
-    done
-  else begin
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- run_task ~copy:true i;
-          loop ()
-        end
-      in
-      loop ();
-      (* hand the domain's telemetry (spans, counters, diag counts)
-         back for the main domain to merge after the join *)
-      Telemetry.snapshot ()
-    in
-    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
-    let snapshots = Array.map Domain.join domains in
-    Array.iter Telemetry.absorb snapshots
-  end;
+  let results = map_tasks ~jobs (Array.length tasks) run_task in
   List.concat (Array.to_list results)

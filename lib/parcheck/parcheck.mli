@@ -17,6 +17,17 @@
 val default_jobs : unit -> int
 (** {!Domain.recommended_domain_count} — what [-j 0] resolves to. *)
 
+val map_tasks : jobs:int -> int -> (par:bool -> int -> 'a) -> 'a array
+(** [map_tasks ~jobs n f] evaluates [f i] for [i = 0..n-1] on a pool of
+    at most [jobs] domains and returns the results positionally, so the
+    output never depends on domain scheduling.  [par] tells the task
+    whether it runs on a spawned worker (shared mutable state must then
+    be copied, domain-local state re-created) or sequentially on the
+    calling domain ([jobs <= 1], no spawn).  Worker telemetry recordings
+    are merged into the caller after the join.  Reused by the
+    differential-testing harness to run independent fuzz trials in
+    parallel. *)
+
 val check_program : ?jobs:int -> Sema.program -> Cfront.Diag.t list
 (** Check every procedure of the program with at most [jobs] (default 1)
     concurrent domains and return the checker's diagnostics in

@@ -65,6 +65,54 @@ type program = {
   loc : int;  (** total source lines *)
 }
 
+let sb_file (sb : seeded) = Printf.sprintf "m%d.c" sb.sb_module
+
+let count_lines files =
+  List.fold_left
+    (fun acc (_, text) -> acc + List.length (String.split_on_char '\n' text))
+    0 files
+
+(** Rebuild a program value around an edited file set — the reduction
+    hook the delta-debugging shrinker uses: it drops modules, functions
+    and statements from the texts and re-validates the divergence on the
+    result.  [seeded] is carried over for the entries whose module file
+    survived (the shrinker tracks its own divergence key anyway). *)
+let of_files ?(seeded = []) (files : (string * string) list) : program =
+  let kept_names = List.map fst files in
+  {
+    files;
+    seeded = List.filter (fun sb -> List.mem (sb_file sb) kept_names) seeded;
+    loc = count_lines files;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Expected-detection metadata                                         *)
+(* ------------------------------------------------------------------ *)
+
+(** Should the static checker flag this seeded bug class under [flags]?
+    Footnote 8's classes need the [+freeoffset]/[+freestatic]
+    extensions; the global-cache leak is invisible to the
+    intraprocedural analysis under any flags (the differential oracle's
+    declared blind spots, pinned by test_check.ml's blind-spot suite). *)
+let expected_static ~(flags : Annot.Flags.t) = function
+  | Bfree_offset -> flags.Annot.Flags.free_offset
+  | Bfree_static -> flags.Annot.Flags.free_static
+  | Bglobal_leak -> false
+  | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef -> true
+
+(** What the run-time baseline observes for this class when the driver
+    executes (or skips) the carrier.  [`Error] is a detected heap error,
+    [`Leak] an end-of-run leak report, [`Nothing] no observation — the
+    null dereference hides on the untaken malloc-failure path even when
+    the carrier runs. *)
+let expected_dynamic ~(executed : bool) = function
+  | _ when not executed -> `Nothing
+  | Bnull_deref -> `Nothing
+  | Bleak | Bglobal_leak -> `Leak
+  | Buse_after_free | Bdouble_free | Buse_undef | Bfree_offset | Bfree_static
+    ->
+      `Error
+
 (* ------------------------------------------------------------------ *)
 (* Module body generation                                              *)
 (* ------------------------------------------------------------------ *)
@@ -311,13 +359,7 @@ let generate ?(seed = 42) ?(modules = 4) ?(fns_per_module = 6)
   pf "  printf(\"total %%d\\n\", total);\n";
   pf "  return 0;\n}\n";
   let files = List.rev !files @ [ ("driver.c", Buffer.contents b) ] in
-  let loc =
-    List.fold_left
-      (fun acc (_, text) ->
-        acc + List.length (String.split_on_char '\n' text))
-      0 files
-  in
-  { files; seeded = seeded_exec; loc }
+  { files; seeded = seeded_exec; loc = count_lines files }
 
 (** Analyse a generated program into a fresh stdlib environment. *)
 let analyse ?(flags = Annot.Flags.default) (p : program) : Sema.program =
@@ -343,8 +385,9 @@ let static_check ?(flags = Annot.Flags.default) (p : program) :
   let kept, suppressed = Check.Suppress.filter table all in
   { Check.program = prog; reports = kept; suppressed }
 
-(** Run a generated program under the run-time checker. *)
-let dynamic_check ?(flags = Annot.Flags.default) (p : program) :
+(** Run a generated program under the run-time checker.  [max_steps]
+    bounds execution (the fuzzer's [-timeout-steps]). *)
+let dynamic_check ?(flags = Annot.Flags.default) ?max_steps (p : program) :
     Rtcheck.result =
   let prog = analyse ~flags p in
-  Rtcheck.run prog
+  Rtcheck.run ?max_steps prog

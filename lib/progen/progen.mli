@@ -28,11 +28,30 @@ type seeded = {
   sb_executed : bool;  (** does the generated driver call the carrier? *)
 }
 
+val sb_file : seeded -> string
+(** The file carrying a seeded bug (["m<N>.c"]). *)
+
 type program = {
   files : (string * string) list;  (** (name, text), dependency order *)
   seeded : seeded list;
   loc : int;  (** total source lines *)
 }
+
+val of_files : ?seeded:seeded list -> (string * string) list -> program
+(** Rebuild a program around an edited file set (the reduction hook used
+    by the difftest shrinker); [seeded] entries whose module file is
+    gone are dropped, [loc] is recomputed. *)
+
+val expected_static : flags:Annot.Flags.t -> bug_kind -> bool
+(** Should the static checker flag this bug class under [flags]?
+    [false] exactly for the declared blind spots: [Bfree_offset] /
+    [Bfree_static] without their recovery flags, and [Bglobal_leak]
+    always. *)
+
+val expected_dynamic : executed:bool -> bug_kind -> [ `Error | `Leak | `Nothing ]
+(** What the run-time baseline observes: a heap error, an end-of-run
+    leak, or nothing (unexecuted carriers, and the null dereference that
+    hides on the untaken malloc-failure path). *)
 
 val generate :
   ?seed:int -> ?modules:int -> ?fns_per_module:int -> ?annotated:bool ->
@@ -44,4 +63,7 @@ val analyse : ?flags:Annot.Flags.t -> program -> Sema.program
 (** Parse and analyse into a fresh stdlib environment. *)
 
 val static_check : ?flags:Annot.Flags.t -> program -> Check.result
-val dynamic_check : ?flags:Annot.Flags.t -> program -> Rtcheck.result
+
+val dynamic_check :
+  ?flags:Annot.Flags.t -> ?max_steps:int -> program -> Rtcheck.result
+(** [max_steps] bounds the interpreter (the fuzzer's [-timeout-steps]). *)

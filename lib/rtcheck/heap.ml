@@ -62,6 +62,23 @@ let error_kind_string = function
   | Ebounds -> "out-of-bounds"
   | Ebad_arg s -> "bad-argument:" ^ s
 
+(* The differential oracle's shared error-class vocabulary.  The static
+   side of the same mapping lives in Check.Errclass (diagnostic code ->
+   class); both must agree on these names, and the contract is pinned by
+   test_difftest.ml. *)
+let error_class = function
+  | Enull_deref -> "null-deref"
+  | Euse_undefined -> "use-undef"
+  | Euse_after_free -> "use-after-free"
+  | Edouble_free -> "double-free"
+  | Efree_offset -> "free-offset"
+  | Efree_nonheap -> "free-static"
+  | Ebounds -> "bounds"
+  | Ebad_arg _ -> "bad-arg"
+
+let class_leak = "leak"
+let class_global_leak = "global-leak"
+
 (** Per-allocation-site statistics, in the spirit of mprof [11] ("a
     memory allocation profiler for C and Lisp programs"). *)
 type site_stats = {
@@ -211,6 +228,9 @@ let release_frame h ~depth =
     run-time tools report storage reachable from global and static
     variables that was never deallocated. *)
 type leak = { lk_block : block; lk_reachable : bool }
+
+let leak_class (l : leak) =
+  if l.lk_reachable then class_global_leak else class_leak
 
 let leaks h ~(roots : ptr list) : leak list =
   (* mark phase over the pointer graph *)

@@ -45,6 +45,18 @@ type error = { e_kind : error_kind; e_loc : Cfront.Loc.t; e_msg : string }
 
 val error_kind_string : error_kind -> string
 
+val error_class : error_kind -> string
+(** The differential oracle's shared error-class name for this kind
+    (["use-after-free"], ["free-offset"], ...).  {!Check.Errclass} maps
+    static diagnostic codes onto the same vocabulary. *)
+
+val class_leak : string
+(** Class name for an unreachable leaked block. *)
+
+val class_global_leak : string
+(** Class name for a leaked block still reachable from a global — the
+    interprocedural blind spot of the static checker (Section 7). *)
+
 (** Per-allocation-site statistics (mprof-style). *)
 type site_stats = {
   mutable st_allocs : int;
@@ -88,6 +100,9 @@ val release_frame : t -> depth:int -> unit
 (** Kill a stack frame's blocks on scope exit. *)
 
 type leak = { lk_block : block; lk_reachable : bool }
+
+val leak_class : leak -> string
+(** {!class_global_leak} when reachable, {!class_leak} otherwise. *)
 
 val leaks : t -> roots:ptr list -> leak list
 (** Live heap blocks at exit, marked reachable/unreachable from the root

@@ -21,9 +21,19 @@ exception Return of slot
 exception Break_exc
 exception Continue_exc
 exception Exit_program of int
+
 exception Abort of string
-(** Raised when execution cannot meaningfully continue (error cap, step
-    limit, unsupported construct). *)
+(** Raised when execution cannot meaningfully continue because the
+    program used a construct the interpreter does not support (or the
+    harness itself is confused). *)
+
+(** Execution stopped by a resource cap, not by the program: these are
+    expected terminations of looping or error-dense programs, and the
+    differential oracle must not confuse them with {!Abort} (a genuine
+    harness limitation). *)
+type limit = Lsteps | Lerrors
+
+exception Limit of limit * string
 
 type frame = {
   mutable vars : (string * (Heap.ptr * Ctype.t)) list;  (** innermost first *)
@@ -47,9 +57,9 @@ type state = {
 let step st ~loc =
   st.steps <- st.steps + 1;
   if st.steps > st.max_steps then
-    raise (Abort (Fmt.str "step limit exceeded at %a" Loc.pp loc));
+    raise (Limit (Lsteps, Fmt.str "step limit exceeded at %a" Loc.pp loc));
   if List.length st.heap.Heap.errors > st.max_errors then
-    raise (Abort "error limit exceeded")
+    raise (Limit (Lerrors, "error limit exceeded"))
 
 let size_of st ty = Layout.size_of st.prog ty
 

@@ -14,8 +14,17 @@ exception Continue_exc
 exception Exit_program of int
 
 exception Abort of string
-(** Execution cannot continue (step/error limit, unsupported construct
-    such as [goto] or struct-by-value calls). *)
+(** Execution cannot continue because the program used a construct the
+    interpreter does not support ([goto], struct-by-value calls, ...) —
+    a genuine harness limitation. *)
+
+(** Execution stopped by a resource cap, not by the program.  Distinct
+    from {!Abort} so the differential oracle can tell "the program
+    looped and we cut it off" (expected) from "the interpreter gave up"
+    (a harness bug). *)
+type limit = Lsteps | Lerrors
+
+exception Limit of limit * string
 
 type frame = {
   mutable vars : (string * (Heap.ptr * Sema.Ctype.t)) list;

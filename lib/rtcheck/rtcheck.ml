@@ -13,12 +13,27 @@ module Interp = Interp
 open Cfront
 module Ctype = Sema.Ctype
 
+(** Why a run stopped before the program exited.  The limits are
+    expected terminations (looping or error-dense programs under a
+    budget); [Aunsupported] means the interpreter itself gave up — the
+    differential oracle treats only the latter as a harness bug.  Errors
+    detected before the cut-off are still reported in [errors]. *)
+type abort =
+  | Astep_limit of string  (** [max_steps] exhausted *)
+  | Aerror_limit of string  (** [max_errors] exhausted *)
+  | Aunsupported of string  (** unsupported construct / harness failure *)
+
+let abort_string = function
+  | Astep_limit msg -> "step limit: " ^ msg
+  | Aerror_limit msg -> "error limit: " ^ msg
+  | Aunsupported msg -> msg
+
 type result = {
   errors : Heap.error list;  (** in detection order *)
   leaks : Heap.leak list;  (** live heap blocks at exit *)
   output : string;  (** collected stdout *)
   exit_code : int option;  (** [None] when the run was aborted *)
-  aborted : string option;  (** abort reason, if any *)
+  aborted : abort option;  (** abort reason, if any *)
   steps : int;
   heap_allocs : int;
   heap_frees : int;
@@ -72,7 +87,8 @@ let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
     prog.Sema.p_globals;
   let exit_code, aborted =
     match Hashtbl.find_opt st.Interp.fundefs entry with
-    | None -> (None, Some (Printf.sprintf "no %s function" entry))
+    | None ->
+        (None, Some (Aunsupported (Printf.sprintf "no %s function" entry)))
     | Some (fs, def) -> (
         try
           let v =
@@ -83,7 +99,9 @@ let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
           | _ -> (Some 0, None)
         with
         | Interp.Exit_program n -> (Some n, None)
-        | Interp.Abort reason -> (None, Some reason))
+        | Interp.Limit (Interp.Lsteps, msg) -> (None, Some (Astep_limit msg))
+        | Interp.Limit (Interp.Lerrors, msg) -> (None, Some (Aerror_limit msg))
+        | Interp.Abort reason -> (None, Some (Aunsupported reason)))
   in
   (* leak detection: roots are the pointers still stored in globals *)
   let roots =
@@ -127,7 +145,7 @@ let pp_summary ppf (r : result) =
   Fmt.pf ppf "exit: %s, steps: %d, allocs: %d, frees: %d@\n"
     (match (r.exit_code, r.aborted) with
     | Some n, _ -> string_of_int n
-    | None, Some why -> "aborted (" ^ why ^ ")"
+    | None, Some why -> "aborted (" ^ abort_string why ^ ")"
     | None, None -> "?")
     r.steps r.heap_allocs r.heap_frees;
   List.iter

@@ -9,12 +9,24 @@ module Layout = Layout
 module Heap = Heap
 module Interp = Interp
 
+(** Why a run stopped before the program exited.  The limit cases are
+    expected terminations under a resource budget; [Aunsupported] means
+    the interpreter gave up on a construct — the differential oracle
+    treats only the latter as a harness bug.  Errors detected before the
+    cut-off are still reported in [errors]. *)
+type abort =
+  | Astep_limit of string  (** [max_steps] exhausted *)
+  | Aerror_limit of string  (** [max_errors] exhausted *)
+  | Aunsupported of string  (** unsupported construct / harness failure *)
+
+val abort_string : abort -> string
+
 type result = {
   errors : Heap.error list;  (** detection order *)
   leaks : Heap.leak list;  (** live heap blocks at exit *)
   output : string;  (** collected stdout *)
   exit_code : int option;  (** [None] when the run was aborted *)
-  aborted : string option;
+  aborted : abort option;
   steps : int;
   heap_allocs : int;
   heap_frees : int;

@@ -197,6 +197,7 @@ let phase_sema = "sema"
 let phase_infer = "infer"
 let phase_check = "check"
 let phase_interp = "interp"
+let phase_difftest = "difftest"
 
 let c_tokens = Counter.make "tokens"
 let c_ast_nodes = Counter.make "ast_nodes"
@@ -208,6 +209,9 @@ let c_infer_rounds = Counter.make "infer_rounds"
 let c_infer_summaries = Counter.make "infer_summaries"
 let c_infer_annots = Counter.make "infer_annotations"
 let c_suppressed = Counter.make "suppressed_total"
+let c_difftest_trials = Counter.make "difftest_trials"
+let c_difftest_findings = Counter.make "difftest_findings"
+let c_difftest_checks = Counter.make "difftest_reduction_checks"
 let diag_counter_prefix = "diag."
 
 let reset () =
@@ -228,7 +232,10 @@ type phase_row = {
 }
 
 let phase_order =
-  [ phase_lex; phase_parse; phase_sema; phase_infer; phase_check; phase_interp ]
+  [
+    phase_lex; phase_parse; phase_sema; phase_infer; phase_check;
+    phase_interp; phase_difftest;
+  ]
 
 let phase_rank p =
   let rec go i = function

@@ -105,6 +105,7 @@ val phase_sema : string
 val phase_infer : string
 val phase_check : string
 val phase_interp : string
+val phase_difftest : string
 
 val c_tokens : Counter.t
 val c_ast_nodes : Counter.t
@@ -130,6 +131,17 @@ val c_infer_annots : Counter.t
 
 val c_suppressed : Counter.t
 (** Diagnostics silenced by stylized suppression comments. *)
+
+val c_difftest_trials : Counter.t
+(** Differential trials executed (one trial = one generated program
+    through both engines). *)
+
+val c_difftest_findings : Counter.t
+(** Divergences recorded by the differential oracle (all kinds,
+    blind spots included). *)
+
+val c_difftest_checks : Counter.t
+(** Re-validation runs performed by the delta-debugging reducer. *)
 
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)

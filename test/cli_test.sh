@@ -1,17 +1,22 @@
 #!/usr/bin/env bash
 # End-to-end tests of the command-line tools.  Invoked by dune with the
-# built executables as arguments; any failed assertion aborts the run.
+# built executables as arguments.  Failed assertions are counted, not
+# fatal: the whole suite always runs, every failure is reported, and
+# the exit status is nonzero iff anything failed.
 set -u
 
 OLCLINT="$1"
 OLCRUN="$2"
-EXAMPLES="${3:-examples}"
+OLDIFF="$3"
+EXAMPLES="${4:-examples}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
+failures=0
+
 fail() {
   echo "CLI TEST FAILED: $1" >&2
-  exit 1
+  failures=$((failures + 1))
 }
 
 expect_contains() { # haystack-file needle description
@@ -272,6 +277,38 @@ expect_contains "$tmp/err" "infer_annotations" "-stats surfaces accepted annotat
 "$OLCLINT" "$EXAMPLES/list.c" > "$tmp/base2" 2>&1
 cmp -s "$tmp/base1" "$tmp/base2" || fail "checking without inference must stay deterministic"
 
+# --- oldiff: differential fuzzing ------------------------------------------
+"$OLDIFF" -seed 42 -runs 3 > "$tmp/out" 2>&1 \
+  || fail "oldiff fixed-seed smoke should find no gaps (exit 0)"
+expect_contains "$tmp/out" "3 trials" "oldiff summary line"
+
+# long and short spellings of every flag parse to the same run
+"$OLDIFF" -seed 42 -runs 2 -timeout-steps 5000 -j 2 > "$tmp/short" 2>&1 \
+  || fail "oldiff single-dash flags should parse"
+"$OLDIFF" --seed 42 --runs 2 --timeout-steps 5000 --jobs 2 > "$tmp/long" 2>&1 \
+  || fail "oldiff double-dash flags should parse"
+cmp -s "$tmp/short" "$tmp/long" \
+  || fail "oldiff -seed/-runs/-timeout-steps/-j must match the -- spellings"
+
+"$OLDIFF" -seed 1 -runs 1 -verbose > "$tmp/out" 2>&1 \
+  || fail "oldiff -verbose smoke should exit 0"
+expect_contains "$tmp/out" "blind-spot" "oldiff -verbose prints excused divergences"
+
+"$OLDIFF" -runs notanint > "$tmp/out" 2>&1
+[ $? -eq 124 ] || fail "oldiff non-integer -runs should exit 124 (cli error)"
+"$OLDIFF" --bogus-flag > "$tmp/out" 2>&1
+[ $? -eq 124 ] || fail "oldiff unknown flag should exit 124 (cli error)"
+
+"$OLDIFF" -seed 6 -runs 1 -reduce "$tmp/redux" > "$tmp/out" 2>&1 \
+  || fail "oldiff -reduce should exit 0 on blind-spot-only divergences"
+ls "$tmp/redux"/*.c > /dev/null 2>&1 || fail "oldiff -reduce should write a reproducer"
+ls "$tmp/redux"/*.json > /dev/null 2>&1 || fail "oldiff -reduce should write a triage record"
+
+# --- summary ----------------------------------------------------------------
+if [ "$failures" -gt 0 ]; then
+  echo "cli tests: $failures failure(s)" >&2
+  exit 1
+fi
 echo "cli tests passed"
 
 # (end)

@@ -1,0 +1,24 @@
+/* === file: m1.c === */
+/* module m1 -- generated */
+
+typedef struct _m1_rec {
+} m1_rec;
+
+
+
+
+
+typedef struct _m1_node {
+} m1_node;
+void m1_buggy(void)
+{
+  char *p = "static text";
+  free(p);
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m1_buggy();
+}

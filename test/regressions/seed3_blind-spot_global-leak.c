@@ -1,0 +1,28 @@
+/* === file: m2.c === */
+/* module m2 -- generated */
+
+typedef struct _m2_rec {
+} m2_rec;
+/*@only@*/ m2_rec *m2_create(int id)
+{
+  m2_rec *r = (m2_rec *) malloc(sizeof(m2_rec));
+  if (r == NULL) {
+  }
+  return r;
+}
+
+
+static /*@null@*/ /*@only@*/ m2_rec *m2_cache;
+void m2_buggy(void)
+{
+  if (m2_cache != NULL) {
+  }
+  m2_cache = m2_create(7);
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m2_buggy();
+}

@@ -1,0 +1,24 @@
+/* === file: m0.c === */
+/* module m0 -- generated */
+
+typedef struct _m0_rec {
+} m0_rec;
+
+
+
+
+void m0_buggy(void)
+{
+  char *p = (char *) malloc(16);
+  if (p == NULL) {
+  }
+  p = p + 4;
+  free(p);
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m0_buggy();
+}

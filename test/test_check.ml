@@ -677,6 +677,97 @@ let modifies_tests =
     Alcotest.test_case "locals free" `Quick test_modifies_locals_free;
   ]
 
+(* ------------------------------------------------------------------ *)
+(* Declared blind spots (footnote 8 / Section 7)                       *)
+(* ------------------------------------------------------------------ *)
+
+(* The differential oracle (lib/difftest) excuses exactly these error
+   classes, and its [blind_spots] entries cite the cases below by name
+   ("test_check.ml: blind-spots/<case>").  Each case pins the
+   default-flags miss on a minimal program; where a recovery flag
+   exists it also pins the catch, and where none does it pins that the
+   footnote-8 flags do NOT help.  If one of these starts failing, the
+   checker's miss profile changed and Difftest.blind_spots (plus
+   docs/testing.md's taxonomy) must change with it. *)
+
+type blind_spot_case = {
+  bc_name : string;  (** = the suffix of the oracle's [bs_cite] *)
+  bc_src : string;
+  bc_recover : (Flags.t * string) option;
+      (** recovery flags and the code they surface, when any exist *)
+}
+
+let blind_spot_cases =
+  [
+    {
+      bc_name = "free-offset";
+      bc_src =
+        "void f(void) { char *p = (char *) malloc(8); if (p == NULL) { \
+         exit(1); } p = p + 2; free(p); }";
+      bc_recover =
+        Some ({ Flags.default with Flags.free_offset = true }, "freeoffset");
+    };
+    {
+      bc_name = "free-static";
+      bc_src = "void f(void) { char *p = \"lit\"; free(p); }";
+      bc_recover =
+        Some ({ Flags.default with Flags.free_static = true }, "freestatic");
+    };
+    {
+      bc_name = "global-leak";
+      bc_src =
+        "typedef struct _rec { int id; } rec;\n\
+         static /*@null@*/ /*@only@*/ rec *cache;\n\
+         /*@only@*/ rec *mk(void) {\n\
+        \  rec *r = (rec *) malloc(sizeof(rec));\n\
+        \  if (r == NULL) { exit(1); }\n\
+        \  r->id = 1;\n\
+        \  return r;\n\
+         }\n\
+         void stash(void) {\n\
+        \  if (cache != NULL) { free(cache); }\n\
+        \  cache = mk();\n\
+         }\n";
+      bc_recover = None;
+    };
+  ]
+
+let test_blind_spot (c : blind_spot_case) () =
+  (* missed under the oracle's flags (plain defaults, not paper_flags) *)
+  check_codes ~flags:Flags.default (c.bc_name ^ ": missed by default") []
+    c.bc_src;
+  (match c.bc_recover with
+  | Some (flags, code) ->
+      let r = check ~flags c.bc_src in
+      Alcotest.(check bool)
+        (c.bc_name ^ ": caught under the recovery flag")
+        true (has_code r code)
+  | None ->
+      (* no recovery exists: the footnote-8 flags must not surface it *)
+      check_codes
+        ~flags:
+          { Flags.default with Flags.free_offset = true; free_static = true }
+        (c.bc_name ^ ": unrecoverable")
+        [] c.bc_src);
+  (* the oracle must excuse this class and cite this very case *)
+  match
+    List.find_opt
+      (fun (bs : Difftest.blind_spot) -> bs.Difftest.bs_class = c.bc_name)
+      (Difftest.blind_spots Flags.default)
+  with
+  | None ->
+      Alcotest.failf "Difftest.blind_spots does not excuse %s" c.bc_name
+  | Some bs ->
+      Alcotest.(check string)
+        (c.bc_name ^ ": oracle cites this test")
+        ("test_check.ml: blind-spots/" ^ c.bc_name)
+        bs.Difftest.bs_cite
+
+let blind_spot_tests =
+  List.map
+    (fun c -> Alcotest.test_case c.bc_name `Quick (test_blind_spot c))
+    blind_spot_cases
+
 let () =
   Alcotest.run "check"
     [
@@ -758,6 +849,7 @@ let () =
       ("extensions", extension_tests);
       ("refcounting", refcount_tests);
       ("modifies", modifies_tests);
+      ("blind-spots", blind_spot_tests);
       ( "suppression",
         [
           Alcotest.test_case "line" `Quick test_suppress_line;

@@ -122,6 +122,157 @@ let prop_clean_static =
       let p = Progen.generate ~seed ~modules:2 ~fns_per_module:3 () in
       (Progen.static_check p).Check.reports = [])
 
+(* ------------------------------------------------------------------ *)
+(* Generator contracts the differential oracle relies on               *)
+(* ------------------------------------------------------------------ *)
+
+(* [generate] is a pure function of its parameters: same seed, byte-
+   identical files (the fuzzer's reproducibility story rests on this) *)
+let prop_seed_deterministic =
+  QCheck.Test.make ~count:25 ~name:"generate is byte-identical in seed"
+    QCheck.(triple (int_range 0 1_000_000) (int_range 1 6) (int_range 0 8))
+    (fun (seed, modules, fns_per_module) ->
+      let gen () =
+        Progen.generate ~seed ~modules ~fns_per_module
+          ~bugs:Progen.all_bug_kinds ~coverage:0.5 ()
+      in
+      let a = gen () and b = gen () in
+      List.for_all2
+        (fun (na, ta) (nb, tb) -> String.equal na nb && String.equal ta tb)
+        a.Progen.files b.Progen.files
+      && a.Progen.seeded = b.Progen.seeded)
+
+(* every manifest entry names a function that really exists in the text
+   of its module file *)
+let prop_seeded_fn_exists =
+  QCheck.Test.make ~count:25 ~name:"every seeded carrier exists in its file"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 1 10))
+    (fun (seed, modules) ->
+      let p =
+        Progen.generate ~seed ~modules ~fns_per_module:3
+          ~bugs:Progen.all_bug_kinds ()
+      in
+      List.for_all
+        (fun (sb : Progen.seeded) ->
+          match List.assoc_opt (Progen.sb_file sb) p.Progen.files with
+          | None -> false
+          | Some text ->
+              (* the definition "void <fn>(" / "int <fn>(" appears *)
+              let needle = sb.Progen.sb_fn ^ "(" in
+              let len = String.length text and nlen = String.length needle in
+              let rec scan i =
+                i + nlen <= len
+                && (String.sub text i nlen = needle || scan (i + 1))
+              in
+              scan 0)
+        p.Progen.seeded)
+
+(* the driver executes exactly the carriers the manifest promises: none
+   at coverage 0.0, all at 1.0 — pinned via the driver text, not just
+   the sb_executed bits *)
+let driver_calls (p : Progen.program) (sb : Progen.seeded) =
+  match List.assoc_opt "driver.c" p.Progen.files with
+  | None -> false
+  | Some text ->
+      let needle = "  " ^ sb.Progen.sb_fn ^ "();" in
+      let len = String.length text and nlen = String.length needle in
+      let rec scan i =
+        i + nlen <= len && (String.sub text i nlen = needle || scan (i + 1))
+      in
+      scan 0
+
+let prop_coverage_extremes =
+  QCheck.Test.make ~count:15 ~name:"coverage 0.0/1.0 drive none/all carriers"
+    QCheck.(int_range 0 1_000_000)
+    (fun seed ->
+      let none =
+        Progen.generate ~seed ~modules:8 ~fns_per_module:2
+          ~bugs:Progen.all_bug_kinds ~coverage:0.0 ()
+      in
+      let full =
+        Progen.generate ~seed ~modules:8 ~fns_per_module:2
+          ~bugs:Progen.all_bug_kinds ~coverage:1.0 ()
+      in
+      List.for_all
+        (fun sb -> (not sb.Progen.sb_executed) && not (driver_calls none sb))
+        none.Progen.seeded
+      && List.for_all
+           (fun sb -> sb.Progen.sb_executed && driver_calls full sb)
+           full.Progen.seeded)
+
+(* executed-bit/driver-text agreement at intermediate coverage too *)
+let prop_manifest_matches_driver =
+  QCheck.Test.make ~count:15 ~name:"sb_executed agrees with the driver text"
+    QCheck.(pair (int_range 0 1_000_000) (int_range 0 4))
+    (fun (seed, quarters) ->
+      let coverage = float_of_int quarters /. 4.0 in
+      let p =
+        Progen.generate ~seed ~modules:8 ~fns_per_module:2
+          ~bugs:Progen.all_bug_kinds ~coverage ()
+      in
+      List.for_all
+        (fun sb -> driver_calls p sb = sb.Progen.sb_executed)
+        p.Progen.seeded)
+
+let test_of_files_roundtrip () =
+  let p = Progen.generate ~modules:3 ~fns_per_module:2 ~bugs:[ Progen.Bleak ] () in
+  let q = Progen.of_files ~seeded:p.Progen.seeded p.Progen.files in
+  Alcotest.(check bool) "files kept" true (q.Progen.files = p.Progen.files);
+  Alcotest.(check int) "loc recomputed" p.Progen.loc q.Progen.loc;
+  Alcotest.(check int) "seeded kept" (List.length p.Progen.seeded)
+    (List.length q.Progen.seeded);
+  (* dropping the carrier's module drops its manifest entry *)
+  let reduced =
+    List.filter (fun (n, _) -> n <> "m0.c") p.Progen.files
+  in
+  let r = Progen.of_files ~seeded:p.Progen.seeded reduced in
+  Alcotest.(check int) "seeded dropped with its file" 0
+    (List.length r.Progen.seeded)
+
+let test_expected_detection_matrix () =
+  (* the metadata agrees with what the engines actually do on a fully
+     covered seeded program (the probe behind the E4 table) *)
+  let flags = Annot.Flags.default in
+  let p = seeded_program () in
+  let st = Progen.static_check ~flags p in
+  let dy = Progen.dynamic_check ~flags p in
+  List.iter
+    (fun (sb : Progen.seeded) ->
+      let file = Progen.sb_file sb in
+      let statically_seen =
+        List.exists
+          (fun (d : Cfront.Diag.t) -> d.Cfront.Diag.loc.Cfront.Loc.file = file)
+          st.Check.reports
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "static on %s" (Progen.bug_kind_string sb.Progen.sb_kind))
+        (Progen.expected_static ~flags sb.Progen.sb_kind)
+        statically_seen;
+      let dynamically_seen =
+        match Progen.expected_dynamic ~executed:sb.Progen.sb_executed sb.Progen.sb_kind with
+        | `Error ->
+            List.exists
+              (fun (e : Rtcheck.Heap.error) ->
+                e.Rtcheck.Heap.e_loc.Cfront.Loc.file = file)
+              dy.Rtcheck.errors
+        | `Leak ->
+            List.exists
+              (fun (l : Rtcheck.Heap.leak) ->
+                l.Rtcheck.Heap.lk_block.Rtcheck.Heap.b_alloc_site
+                  .Cfront.Loc.file = file)
+              dy.Rtcheck.leaks
+        | `Nothing ->
+            not
+              (List.exists
+                 (fun (e : Rtcheck.Heap.error) ->
+                   e.Rtcheck.Heap.e_loc.Cfront.Loc.file = file)
+                 dy.Rtcheck.errors)
+      in
+      Alcotest.(check bool)
+        (Printf.sprintf "dynamic on %s" (Progen.bug_kind_string sb.Progen.sb_kind))
+        true dynamically_seen)
+    p.Progen.seeded
+
 let () =
   Alcotest.run "progen"
     [
@@ -132,6 +283,16 @@ let () =
           Alcotest.test_case "clean static" `Quick test_clean_program_static;
           Alcotest.test_case "unannotated messages" `Quick test_unannotated_program_messages;
           QCheck_alcotest.to_alcotest prop_clean_static;
+        ] );
+      ( "oracle-contracts",
+        [
+          QCheck_alcotest.to_alcotest prop_seed_deterministic;
+          QCheck_alcotest.to_alcotest prop_seeded_fn_exists;
+          QCheck_alcotest.to_alcotest prop_coverage_extremes;
+          QCheck_alcotest.to_alcotest prop_manifest_matches_driver;
+          Alcotest.test_case "of_files roundtrip" `Quick test_of_files_roundtrip;
+          Alcotest.test_case "expected-detection matrix" `Quick
+            test_expected_detection_matrix;
         ] );
       ( "detection-matrix",
         [

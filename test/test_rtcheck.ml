@@ -181,6 +181,66 @@ let test_step_limit () =
   let r = run ~max_steps:1000 "int main(void) { while (1) { } return 0; }" in
   Alcotest.(check bool) "aborted" true (r.Rtcheck.aborted <> None)
 
+(* The oracle's contract: a step-limit abort is marked distinctly from an
+   unsupported-construct abort, and the errors observed before the cut-off
+   are still in the result. *)
+let test_step_limit_marker () =
+  let r =
+    run ~max_steps:1000
+      "int main(void) {\n\
+       char *p = (char *) malloc(4);\n\
+       if (p == NULL) { return 1; }\n\
+       free(p);\n\
+       free(p);\n\
+       while (1) { }\n\
+       return 0;\n\
+       }"
+  in
+  (match r.Rtcheck.aborted with
+  | Some (Rtcheck.Astep_limit _) -> ()
+  | Some a ->
+      Alcotest.failf "expected a step-limit abort, got %s"
+        (Rtcheck.abort_string a)
+  | None -> Alcotest.fail "expected an abort");
+  Alcotest.(check (option int)) "no exit code" None r.Rtcheck.exit_code;
+  Alcotest.(check bool) "pre-abort errors survive" true
+    (List.exists
+       (fun (e : Heap.error) -> e.Heap.e_kind = Heap.Edouble_free)
+       r.Rtcheck.errors)
+
+let test_unsupported_marker () =
+  (* goto is the documented unsupported construct *)
+  let r = run "int main(void) { goto end; end: return 0; }" in
+  match r.Rtcheck.aborted with
+  | Some (Rtcheck.Aunsupported _) -> ()
+  | Some a ->
+      Alcotest.failf "expected an unsupported abort, got %s"
+        (Rtcheck.abort_string a)
+  | None -> Alcotest.fail "expected an abort"
+
+let test_error_limit_marker () =
+  (* every loop iteration reads an undefined value: the error cap, not
+     the step cap, stops the run *)
+  let r =
+    Rtcheck.run_source ~max_errors:10
+      ~stdlib_env:(fun () -> Stdspec.environment ())
+      ~file:"t.c"
+      "int main(void) {\n\
+       int x;\n\
+       int i;\n\
+       for (i = 0; i < 100000; i++) { if (x > 0) { } }\n\
+       return 0;\n\
+       }"
+  in
+  match r.Rtcheck.aborted with
+  | Some (Rtcheck.Aerror_limit _) ->
+      Alcotest.(check bool) "errors reported up to the cap" true
+        (List.length r.Rtcheck.errors > 0)
+  | Some a ->
+      Alcotest.failf "expected an error-limit abort, got %s"
+        (Rtcheck.abort_string a)
+  | None -> Alcotest.fail "expected an abort"
+
 (* ------------------------------------------------------------------ *)
 (* Dynamic error detection                                             *)
 (* ------------------------------------------------------------------ *)
@@ -403,6 +463,9 @@ let () =
           Alcotest.test_case "malloc lifecycle" `Quick test_malloc_lifecycle;
           Alcotest.test_case "exit" `Quick test_exit_function;
           Alcotest.test_case "step limit" `Quick test_step_limit;
+          Alcotest.test_case "step-limit marker" `Quick test_step_limit_marker;
+          Alcotest.test_case "unsupported marker" `Quick test_unsupported_marker;
+          Alcotest.test_case "error-limit marker" `Quick test_error_limit_marker;
         ] );
       ( "detection",
         [
