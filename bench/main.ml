@@ -884,6 +884,191 @@ let difftest_exp () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* E12: loop fixpoint mode (+loopexec)                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* A loop-heavy trial mix: every seeded bug is loop-carried, every
+   fourth trial is clean (probing +loopexec for precision regressions),
+   and driver coverage is full so the carriers always execute. *)
+let loop_trial seed =
+  let kinds =
+    [|
+      Progen.Bloop_leak; Progen.Bloop_use_after_free; Progen.Bloop_null_deref;
+    |]
+  in
+  let bugs =
+    if seed mod 4 = 0 then []
+    else
+      List.sort_uniq compare [ kinds.(seed mod 3); kinds.(seed / 3 mod 3) ]
+  in
+  {
+    Difftest.t_seed = seed;
+    t_modules = 2 + (seed mod 3);
+    t_fns = 2 + (seed mod 2);
+    t_bugs = bugs;
+    t_coverage = 1.0;
+    t_max_steps = 200_000;
+  }
+
+let loops_exp () =
+  section "E12: loop fixpoint mode -- default heuristic vs +loopexec";
+  row "  Fixed-seed loop-heavy sweep (seeds %d..%d): every seeded bug\n"
+    !seed_flag (!seed_flag + 47);
+  row "  needs a back edge to manifest.  Under the default heuristic\n";
+  row "  they classify as excused loop-* blind spots; under +loopexec\n";
+  row "  the fixpoint must witness them statically -- no remaining\n";
+  row "  loop-* divergences, no new gaps, no precision loss on the\n";
+  row "  clean trials.  Written to BENCH_loops.json.\n\n";
+  let trials = List.init 48 (fun i -> loop_trial (!seed_flag + i)) in
+  let jobs = min 4 (Parcheck.default_jobs ()) in
+  let loopexec_flags =
+    { Annot.Flags.default with Annot.Flags.loop_exec = true }
+  in
+  let loop_findings outs =
+    List.concat_map
+      (fun (o : Difftest.outcome) ->
+        List.filter_map
+          (fun (f : Difftest.finding) ->
+            if
+              String.length f.Difftest.f_class >= 5
+              && String.sub f.Difftest.f_class 0 5 = "loop-"
+            then Some (o.Difftest.o_trial.Difftest.t_seed, f)
+            else None)
+          o.Difftest.o_verdict.Difftest.v_findings)
+      outs
+  in
+  let static_reports outs =
+    List.fold_left
+      (fun acc (o : Difftest.outcome) ->
+        acc + o.Difftest.o_verdict.Difftest.v_static_reports)
+      0 outs
+  in
+  let read_loop_counters () =
+    Telemetry.Counter.
+      ( value Telemetry.c_loop_fixpoint_iters,
+        value Telemetry.c_loop_widenings,
+        value Telemetry.c_loop_bailouts )
+  in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let outs_d, dt_d = time (fun () -> Difftest.sweep ~jobs trials) in
+  let d_iters, d_widen, d_bail = read_loop_counters () in
+  Telemetry.reset ();
+  let outs_l, dt_l =
+    time (fun () -> Difftest.sweep ~jobs ~flags:loopexec_flags trials)
+  in
+  let l_iters, l_widen, l_bail = read_loop_counters () in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let loops_d = loop_findings outs_d and loops_l = loop_findings outs_l in
+  let eliminated = List.length loops_d - List.length loops_l in
+  let reports_d = static_reports outs_d
+  and reports_l = static_reports outs_l in
+  let gaps_d = Difftest.gaps outs_d and gaps_l = Difftest.gaps outs_l in
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (_, (f : Difftest.finding)) -> f.Difftest.f_class)
+         (loops_d @ loops_l))
+  in
+  row "  %-22s %10s %10s\n" "loop-carried class" "default" "+loopexec";
+  let class_rows =
+    List.map
+      (fun cls ->
+        let n outs =
+          List.length
+            (List.filter
+               (fun (_, (f : Difftest.finding)) -> f.Difftest.f_class = cls)
+               outs)
+        in
+        let d = n loops_d and l = n loops_l in
+        row "  %-22s %10d %10d\n" cls d l;
+        Telemetry.Json.(
+          Obj
+            [
+              ("class", String cls);
+              ("default_divergences", Int d);
+              ("loopexec_divergences", Int l);
+            ]))
+      classes
+  in
+  row "\n  default:   %d loop-carried divergences excused, %d static\n"
+    (List.length loops_d) reports_d;
+  row "  reports, %.1fs; fixpoint counters %d/%d/%d (iters/widenings/\n"
+    dt_d d_iters d_widen d_bail;
+  row "  bailouts, all 0 by construction)\n";
+  row "  +loopexec: %d loop-carried divergences remain, %d static\n"
+    (List.length loops_l) reports_l;
+  row "  reports, %.1fs; %d fixpoint iterations, %d widenings, %d\n" dt_l
+    l_iters l_widen l_bail;
+  row "  bailouts\n";
+  row "  %d loop-carried divergences eliminated by +loopexec\n" eliminated;
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "loops");
+          ("seed", Int !seed_flag);
+          ("trials", Int (List.length trials));
+          ("jobs", Int jobs);
+          ( "default",
+            Obj
+              [
+                ("seconds", Float dt_d);
+                ("static_reports", Int reports_d);
+                ("loop_divergences", Int (List.length loops_d));
+                ("gaps", Int (List.length gaps_d));
+                ("loop_fixpoint_iters", Int d_iters);
+                ("loop_widenings", Int d_widen);
+                ("loop_bailouts", Int d_bail);
+              ] );
+          ( "loopexec",
+            Obj
+              [
+                ("seconds", Float dt_l);
+                ("static_reports", Int reports_l);
+                ("loop_divergences", Int (List.length loops_l));
+                ("gaps", Int (List.length gaps_l));
+                ("loop_fixpoint_iters", Int l_iters);
+                ("loop_widenings", Int l_widen);
+                ("loop_bailouts", Int l_bail);
+              ] );
+          ("eliminated", Int eliminated);
+          ("per_class", List class_rows);
+        ])
+  in
+  let oc = open_out "BENCH_loops.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_loops.json\n";
+  (* the CI gate: +loopexec must eliminate at least 3 loop-carried
+     divergences, leave none behind, and introduce no gap or precision
+     regression anywhere (the clean trials included) *)
+  let fail fmt = Printf.eprintf fmt in
+  let bad = ref false in
+  if eliminated < 3 then begin
+    fail "loops: only %d loop-carried divergences eliminated (want >= 3)\n"
+      eliminated;
+    bad := true
+  end;
+  if loops_l <> [] then begin
+    fail "loops: %d loop-carried divergences survive +loopexec\n"
+      (List.length loops_l);
+    bad := true
+  end;
+  List.iter
+    (fun (f : Difftest.finding) ->
+      fail "loops (+loopexec): %s\n" (Fmt.str "%a" Difftest.pp_finding f);
+      bad := true)
+    gaps_l;
+  List.iter
+    (fun (f : Difftest.finding) ->
+      fail "loops (default): %s\n" (Fmt.str "%a" Difftest.pp_finding f);
+      bad := true)
+    gaps_d;
+  if !bad then exit 3
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -903,6 +1088,7 @@ let experiments =
     ("micro", micro);
     ("scale", scale);
     ("difftest", difftest_exp);
+    ("loops", loops_exp);
   ]
 
 let () =

@@ -233,19 +233,26 @@ let cmd =
 (* LCLint heritage: tolerate single-dash spellings of the long flags
    ([-json], [-stats], [-timings], [-infer]) by rewriting them before
    cmdliner (which reserves single dashes for short options) sees them,
-   and accept bare [+name] checking flags ([olclint +inferconstraints
-   f.c]) by expanding them to [-f +name]. *)
+   accept bare [+name] checking flags ([olclint +inferconstraints f.c])
+   by expanding them to [-f +name], and accept the valued [-loopiter N]
+   as sugar for [-f loopiter=N]. *)
 let argv =
-  Array.of_list
-    (List.concat_map
-       (function
-         | "-stats" -> [ "--stats" ]
-         | "-timings" -> [ "--timings" ]
-         | "-json" -> [ "--json" ]
-         | "-infer" -> [ "--infer" ]
-         | "-jobs" -> [ "--jobs" ]
-         | a when String.length a > 1 && a.[0] = '+' -> [ "-f"; a ]
-         | a -> [ a ])
-       (Array.to_list Sys.argv))
+  let rec rewrite = function
+    | [] -> []
+    | ("-f" | "--flag") :: v :: rest ->
+        (* an explicit -f keeps its value verbatim (it may start with
+           '+', which must not be expanded a second time) *)
+        "-f" :: v :: rewrite rest
+    | "-loopiter" :: n :: rest -> "-f" :: ("loopiter=" ^ n) :: rewrite rest
+    | "-stats" :: rest -> "--stats" :: rewrite rest
+    | "-timings" :: rest -> "--timings" :: rewrite rest
+    | "-json" :: rest -> "--json" :: rewrite rest
+    | "-infer" :: rest -> "--infer" :: rewrite rest
+    | "-jobs" :: rest -> "--jobs" :: rewrite rest
+    | a :: rest when String.length a > 1 && a.[0] = '+' ->
+        "-f" :: a :: rewrite rest
+    | a :: rest -> a :: rewrite rest
+  in
+  Array.of_list (rewrite (Array.to_list Sys.argv))
 
 let () = exit (Cmd.eval' ~argv cmd)

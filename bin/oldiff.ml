@@ -16,14 +16,29 @@
 
 open Cmdliner
 
-let run seed runs timeout_steps jobs reduce_dir verbose =
+let run seed runs timeout_steps jobs reduce_dir verbose flag_args =
+  let flags =
+    match Annot.Flags.(apply_all default) flag_args with
+    | Ok f -> f
+    | Error (Annot.Flags.Unknown_flag name) ->
+        (match Annot.Flags.suggest name with
+        | Some near ->
+            Printf.eprintf "oldiff: unknown flag '%s' (did you mean '%s'?)\n"
+              name near
+        | None ->
+            Printf.eprintf
+              "oldiff: unknown flag '%s' (see docs/diagnostics.md for the \
+               flag list)\n"
+              name);
+        exit 2
+  in
   let jobs = if jobs <= 0 then Parcheck.default_jobs () else jobs in
   let trials =
     List.init runs (fun i ->
         { (Difftest.trial_of_seed (seed + i)) with
           Difftest.t_max_steps = timeout_steps })
   in
-  let outs = Difftest.sweep ~jobs trials in
+  let outs = Difftest.sweep ~jobs ~flags trials in
   let report (o : Difftest.outcome) =
     List.iter
       (fun (f : Difftest.finding) ->
@@ -48,7 +63,7 @@ let run seed runs timeout_steps jobs reduce_dir verbose =
                   ~bugs:t.Difftest.t_bugs ~coverage:t.Difftest.t_coverage ()
               in
               let reduced =
-                Difftest.reduce ~max_steps:t.Difftest.t_max_steps ~key p
+                Difftest.reduce ~flags ~max_steps:t.Difftest.t_max_steps ~key p
               in
               let name =
                 Printf.sprintf "seed%d_%s_%s" t.Difftest.t_seed
@@ -119,6 +134,16 @@ let verbose_arg =
     value & flag
     & info [ "verbose" ] ~doc:"Also print excused blind-spot divergences.")
 
+let flags_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "f"; "flag" ] ~docv:"[+-]NAME"
+        ~doc:
+          "Checking flag for the static side of every trial, LCLint style \
+           (e.g. -f +loopexec). Recovery flags shrink the excused \
+           blind-spot set accordingly.")
+
 let cmd =
   let doc = "differential fuzzing of the static checker against the \
              run-time baseline" in
@@ -126,19 +151,28 @@ let cmd =
     (Cmd.info "oldiff" ~version:"1.0" ~doc)
     Term.(
       const run $ seed_arg $ runs_arg $ timeout_steps_arg $ jobs_arg
-      $ reduce_arg $ verbose_arg)
+      $ reduce_arg $ verbose_arg $ flags_arg)
 
-(* accept the LCLint-style single-dash spellings too *)
+(* accept the LCLint-style single-dash spellings too, plus bare [+name]
+   checking flags and [-loopiter N] as sugar for [-f loopiter=N] *)
 let argv =
-  Array.map
-    (function
-      | "-seed" -> "--seed"
-      | "-runs" -> "--runs"
-      | "-timeout-steps" -> "--timeout-steps"
-      | "-jobs" -> "--jobs"
-      | "-reduce" -> "--reduce"
-      | "-verbose" -> "--verbose"
-      | a -> a)
-    Sys.argv
+  let rec rewrite = function
+    | [] -> []
+    | ("-f" | "--flag") :: v :: rest ->
+        (* an explicit -f keeps its value verbatim (it may start with
+           '+', which must not be expanded a second time) *)
+        "-f" :: v :: rewrite rest
+    | "-loopiter" :: n :: rest -> "-f" :: ("loopiter=" ^ n) :: rewrite rest
+    | "-seed" :: rest -> "--seed" :: rewrite rest
+    | "-runs" :: rest -> "--runs" :: rewrite rest
+    | "-timeout-steps" :: rest -> "--timeout-steps" :: rewrite rest
+    | "-jobs" :: rest -> "--jobs" :: rewrite rest
+    | "-reduce" :: rest -> "--reduce" :: rewrite rest
+    | "-verbose" :: rest -> "--verbose" :: rewrite rest
+    | a :: rest when String.length a > 1 && a.[0] = '+' ->
+        "-f" :: a :: rewrite rest
+    | a :: rest -> a :: rewrite rest
+  in
+  Array.of_list (rewrite (Array.to_list Sys.argv))
 
 let () = exit (Cmd.eval' ~argv cmd)

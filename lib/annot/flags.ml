@@ -52,6 +52,15 @@ type t = {
   infer_constraints : bool;
       (** run interprocedural annotation inference before checking and use
           the synthesized annotations to refine warnings ([+inferconstraints]) *)
+  loop_exec : bool;
+      (** [+loopexec]: re-analyse loop bodies to a store fixpoint with
+          widening instead of the paper's zero-or-one-times heuristic
+          (off by default, preserving the paper's miss profile) *)
+  loop_iter : int;
+      (** [loopiter=N] / [-loopiter N]: per-loop iteration bound for the
+          [+loopexec] fixpoint; a loop that has not converged within the
+          bound bails out to the zero-or-one-times heuristic (and ticks
+          the [loop_bailouts] telemetry counter) *)
 }
 
 let default =
@@ -74,6 +83,8 @@ let default =
     guard_refinement = true;
     alias_tracking = true;
     infer_constraints = false;
+    loop_exec = false;
+    loop_iter = 8;
   }
 
 (** The paper's [-allimponly] run (Section 6): no implicit [only]
@@ -148,7 +159,19 @@ let apply (f : t) (s : string) : (t, flag_error) result =
   | "guards" -> Ok { f with guard_refinement = set }
   | "aliastrack" -> Ok { f with alias_tracking = set }
   | "inferconstraints" -> Ok { f with infer_constraints = set }
-  | _ -> Error (Unknown_flag name)
+  | "loopexec" -> Ok { f with loop_exec = set }
+  | "loopiter" ->
+      (* valueless spelling resets the bound to its default *)
+      Ok { f with loop_iter = default.loop_iter }
+  | _ -> (
+      (* the one valued flag: [loopiter=N] sets the fixpoint iteration
+         bound (also reachable as [-loopiter N] from the CLIs) *)
+      match String.index_opt name '=' with
+      | Some i when String.sub name 0 i = "loopiter" -> (
+          match int_of_string_opt (String.sub name (i + 1) (String.length name - i - 1)) with
+          | Some n when n >= 1 -> Ok { f with loop_iter = n }
+          | _ -> Error (Unknown_flag name))
+      | _ -> Error (Unknown_flag name))
 
 let apply_all (f : t) (ss : string list) : (t, flag_error) result =
   List.fold_left
@@ -160,7 +183,7 @@ let flag_names =
     "allimponly"; "imponlyreturns"; "imponlyglobals"; "imponlyfields";
     "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
-    "guards"; "aliastrack"; "inferconstraints";
+    "guards"; "aliastrack"; "inferconstraints"; "loopexec"; "loopiter";
   ]
 
 (* Levenshtein distance, one-row DP. *)

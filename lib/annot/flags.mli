@@ -26,6 +26,12 @@ type t = {
   alias_tracking : bool;
   infer_constraints : bool;
       (** [+inferconstraints]: run annotation inference before checking *)
+  loop_exec : bool;
+      (** [+loopexec]: analyse loop bodies to a store fixpoint with
+          widening instead of the zero-or-one-times heuristic *)
+  loop_iter : int;
+      (** [loopiter=N]: iteration bound for the [+loopexec] fixpoint
+          before bailing out to the heuristic (default 8) *)
 }
 
 val default : t
@@ -42,7 +48,8 @@ type flag_error = Unknown_flag of string
 val apply : t -> string -> (t, flag_error) result
 (** Apply one flag string: [+name] enables, [-name] (or [no-name])
     disables, a bare name enables.  A leading [=] is tolerated (cmdliner
-    glue). *)
+    glue).  [loopiter=N] is the one valued flag (fixpoint iteration
+    bound, [N >= 1]). *)
 
 val apply_all : t -> string list -> (t, flag_error) result
 

@@ -2408,6 +2408,35 @@ let merge_all env ~loc (stores : Store.t list) : Store.t =
         (fun acc s -> merge_reporting env ~loc acc s)
         s rest
 
+(* ------------------------------------------------------------------ *)
+(* Loop fixpoints ([+loopexec])                                        *)
+(* ------------------------------------------------------------------ *)
+
+(** Derivation-depth cap applied to loop stores by the [+loopexec]
+    widening: references deeper than this collapse onto their depth-cap
+    ancestor ({!Store.collapse_deep}), so a list walk like [p = p->next]
+    cannot manufacture a new reference per iteration. *)
+let loop_depth_cap = 3
+
+(** A silenced copy of the environment for exploratory fixpoint
+    iterations: diagnostics go to a scratch collector, exit observation
+    is off (a silenced iteration must not feed inference summaries), and
+    the scope chain is copied so declarations seen while re-running the
+    body cannot pollute the real environment.  The mutable counters
+    start from the real environment's current values and advance
+    independently — each iteration gets a fresh copy, so fresh-storage
+    and static ids restart identically every round (an allocation in
+    the body maps to the same [Rfresh] root each time; otherwise the
+    store would grow a new root per iteration and never converge). *)
+let silent_env env =
+  {
+    env with
+    diags = Diag.Collector.create ();
+    exit_obs = None;
+    scopes = List.map (fun s -> { vars = s.vars }) env.scopes;
+    conflict_memo = Hashtbl.create 16;
+  }
+
 let rec exec env st (stmt : Ast.stmt) : Store.t =
   if not (Store.is_reachable st) then st
   else
@@ -2450,39 +2479,17 @@ let rec exec env st (stmt : Ast.stmt) : Store.t =
             merge_reporting env ~loc t' f'
         | None -> merge_reporting env ~loc t' f)
     | Ast.Swhile (c, body) ->
-        (* "The while loop is treated identically to an if statement —
-           there is no back edge" *)
-        push_breakable env;
-        let t, f = split_cond env st c in
-        let t' = exec env t body in
-        let breaks, continues = pop_breakable env in
-        merge_all env ~loc ((t' :: f :: breaks) @ continues)
+        if env.flags.Flags.loop_exec then exec_while_fixpoint env st ~loc c body
+        else exec_while_heuristic env st ~loc c body
     | Ast.Sdo (body, c) ->
-        (* executed exactly once in the model *)
-        push_breakable env;
-        let st = exec env st body in
-        let breaks, continues = pop_breakable env in
-        let st = merge_all env ~loc ((st :: breaks) @ continues) in
-        if Store.is_reachable st then
-          let _, f = split_cond env st c in
-          f
-        else st
+        if env.flags.Flags.loop_exec then exec_do_fixpoint env st ~loc body c
+        else exec_do_heuristic env st ~loc body c
     | Ast.Sfor (init, cond, step, body) ->
+        (* the initializer runs exactly once in either analysis mode *)
         let st = match init with Some s -> exec env st s | None -> st in
-        push_breakable env;
-        let t, f =
-          match cond with
-          | Some c -> split_cond env st c
-          | None -> (st, Store.unreachable st)
-        in
-        let t' = exec env t body in
-        let t' =
-          if Store.is_reachable t' then
-            match step with Some s -> fst (eval env t' s) | None -> t'
-          else t'
-        in
-        let breaks, continues = pop_breakable env in
-        merge_all env ~loc ((t' :: f :: breaks) @ continues)
+        if env.flags.Flags.loop_exec then
+          exec_for_fixpoint env st ~loc cond step body
+        else exec_for_heuristic env st ~loc cond step body
     | Ast.Sreturn eopt ->
         let st, ret =
           match eopt with
@@ -2613,6 +2620,149 @@ and exec_decl env ~loc st (d : Ast.decl) : Store.t =
           (Store.mk_refstate ~def ~null ~alloc ~defloc:d.d_loc
              ~allocloc:d.d_loc ())
   end
+
+(* ---- the paper's zero-or-one-times loop heuristic (default) ---- *)
+
+and exec_while_heuristic env st ~loc c body =
+  (* "The while loop is treated identically to an if statement —
+     there is no back edge" *)
+  push_breakable env;
+  let t, f = split_cond env st c in
+  let t' = exec env t body in
+  let breaks, continues = pop_breakable env in
+  merge_all env ~loc ((t' :: f :: breaks) @ continues)
+
+and exec_do_heuristic env st ~loc body c =
+  (* the body executes at least once — a [do] body is not "zero or one
+     times"; a continue re-tests the condition, a break skips it *)
+  push_breakable env;
+  let st = exec env st body in
+  let breaks, continues = pop_breakable env in
+  let st = merge_all env ~loc (st :: continues) in
+  let f = if Store.is_reachable st then snd (split_cond env st c) else st in
+  merge_all env ~loc (f :: breaks)
+
+and exec_for_heuristic env st ~loc cond step body =
+  push_breakable env;
+  let t, f =
+    match cond with
+    | Some c -> split_cond env st c
+    | None -> (st, Store.unreachable st)
+  in
+  let t' = exec env t body in
+  let t' =
+    if Store.is_reachable t' then
+      match step with Some s -> fst (eval env t' s) | None -> t'
+    else t'
+  in
+  let breaks, continues = pop_breakable env in
+  merge_all env ~loc ((t' :: f :: breaks) @ continues)
+
+(* ---- the [+loopexec] fixpoint mode ---- *)
+
+(* The loop-entry store is joined ({!Store.widen}) with the back-edge
+   stores of each exploratory body run until it stabilizes; only then is
+   the body analysed once more on the real environment, from the
+   converged store, to emit diagnostics.  Termination is by widening:
+   the join resolves def/null/alloc states upward in their finite
+   lattices and {!Store.collapse_deep} caps derivation depth.  [round]
+   analyses the body once from an entry store on a silenced environment
+   and returns the store feeding the back edge. *)
+
+and loop_fixpoint env st ~(round : env -> Store.t -> Store.t) :
+    [ `Converged of Store.t | `Bailout ] =
+  let bound = max 1 env.flags.Flags.loop_iter in
+  let rec go e n =
+    if n >= bound then begin
+      Telemetry.Counter.tick Telemetry.c_loop_bailouts;
+      `Bailout
+    end
+    else begin
+      Telemetry.Counter.tick Telemetry.c_loop_fixpoint_iters;
+      let back = round (silent_env env) e in
+      let e' =
+        Store.collapse_deep ~depth:loop_depth_cap (Store.widen e back)
+      in
+      if Store.equal e' e then `Converged e
+      else begin
+        Telemetry.Counter.tick Telemetry.c_loop_widenings;
+        go e' (n + 1)
+      end
+    end
+  in
+  go (Store.collapse_deep ~depth:loop_depth_cap st) 0
+
+and exec_while_fixpoint env st ~loc c body =
+  let round shadow e =
+    push_breakable shadow;
+    let t, _ = split_cond shadow e c in
+    let bend = exec shadow t body in
+    let _, continues = pop_breakable shadow in
+    (* body end and continue paths re-test the condition *)
+    List.fold_left Store.widen bend continues
+  in
+  match loop_fixpoint env st ~round with
+  | `Bailout -> exec_while_heuristic env st ~loc c body
+  | `Converged e ->
+      push_breakable env;
+      let t, f = split_cond env e c in
+      (* reporting pass: the body-end state flows to the back edge,
+         which the converged entry store already covers *)
+      let (_ : Store.t) = exec env t body in
+      let breaks, _ = pop_breakable env in
+      merge_all env ~loc (f :: breaks)
+
+and exec_do_fixpoint env st ~loc body c =
+  (* the converged store is the BODY entry: the first trip runs from the
+     loop's own entry store, preserving at-least-once semantics *)
+  let round shadow e =
+    push_breakable shadow;
+    let bend = exec shadow e body in
+    let _, continues = pop_breakable shadow in
+    let ends = List.fold_left Store.widen bend continues in
+    if Store.is_reachable ends then fst (split_cond shadow ends c) else ends
+  in
+  match loop_fixpoint env st ~round with
+  | `Bailout -> exec_do_heuristic env st ~loc body c
+  | `Converged e ->
+      push_breakable env;
+      let bend = exec env e body in
+      let breaks, continues = pop_breakable env in
+      let ends = merge_all env ~loc (bend :: continues) in
+      let f =
+        if Store.is_reachable ends then snd (split_cond env ends c) else ends
+      in
+      merge_all env ~loc (f :: breaks)
+
+and exec_for_fixpoint env st ~loc cond step body =
+  let split env e =
+    match cond with
+    | Some c -> split_cond env e c
+    | None -> (e, Store.unreachable e)
+  in
+  let round shadow e =
+    push_breakable shadow;
+    let t, _ = split shadow e in
+    let bend = exec shadow t body in
+    let _, continues = pop_breakable shadow in
+    (* continue jumps to the step, as does falling off the body end *)
+    let back = List.fold_left Store.widen bend continues in
+    if Store.is_reachable back then
+      match step with Some s -> fst (eval shadow back s) | None -> back
+    else back
+  in
+  match loop_fixpoint env st ~round with
+  | `Bailout -> exec_for_heuristic env st ~loc cond step body
+  | `Converged e ->
+      push_breakable env;
+      let t, f = split env e in
+      let bend = exec env t body in
+      (* run the step once for its diagnostics; its abstract effect is
+         already folded into the converged entry store *)
+      (if Store.is_reachable bend then
+         match step with Some s -> ignore (eval env bend s) | None -> ());
+      let breaks, _ = pop_breakable env in
+      merge_all env ~loc (f :: breaks)
 
 (* ------------------------------------------------------------------ *)
 (* Function and program checking                                       *)

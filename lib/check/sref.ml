@@ -191,6 +191,18 @@ let base r =
   | Root _ -> None
   | Field (b, _) | Deref b | Index (b, _) -> Some b
 
+(** The ancestor of [r] at derivation depth at most [k] (the reference
+    itself when it is already shallow enough).  Used by the [+loopexec]
+    widening to collapse unboundedly growing derivation chains — e.g. the
+    [p = p->next] list walk — onto a finite set of representatives. *)
+let ancestor_at_depth r k =
+  let k = if k < 0 then 0 else k in
+  let rec up r =
+    if r.sr_depth <= k then r
+    else match base r with None -> r | Some b -> up b
+  in
+  up r
+
 (** Is [inner] a proper derivation of [outer] (reachable from it)?  The
     cached depths bound the walk: once we are no deeper than [outer] no
     base can match. *)

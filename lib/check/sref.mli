@@ -71,6 +71,12 @@ val base : t -> t option
 val depth : t -> int
 (** Cached; O(1). *)
 
+val ancestor_at_depth : t -> int -> t
+(** [ancestor_at_depth r k] is the ancestor of [r] at derivation depth at
+    most [k] ([r] itself when already shallow enough).  The [+loopexec]
+    widening uses it to collapse unboundedly growing derivation chains
+    (e.g. a [p = p->next] list walk) onto finitely many representatives. *)
+
 val derived_from : outer:t -> t -> bool
 (** Is the reference a proper derivation of [outer]?  Bounded by the
     cached depths. *)

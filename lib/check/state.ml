@@ -140,6 +140,48 @@ let merge_alloc a b : (allocstate, allocstate * allocstate) result =
     | (ASonly | ASowned), _ | _, (ASonly | ASowned) -> Error (a, b)
     | _ -> Error (a, b)
 
+(* ------------------------------------------------------------------ *)
+(* Widening joins ([+loopexec] back-edge fixpoint)                     *)
+(* ------------------------------------------------------------------ *)
+
+(** Definition-state join for the loop fixpoint.  Like {!merge_def} —
+    which already lets [DSdead] dominate, so a reference released on some
+    iteration stays dead at the converged loop entry and the final
+    reporting pass flags the use — except that the [DSerror] cascade-stop
+    marker is transparent: a silenced fixpoint iteration may have planted
+    it, and letting it absorb the join would mask the very state the
+    final pass must report on. *)
+let widen_def a b =
+  match (a, b) with
+  | DSerror, x | x, DSerror -> x
+  | _ -> merge_def a b
+
+(** Allocation-state join for the loop fixpoint.  Where the reporting
+    merge would declare a confluence anomaly ({!merge_alloc} [Error]),
+    the fixpoint instead keeps the side with the stronger outstanding
+    obligation, so the danger survives to the final reporting pass
+    instead of being error-masked.  Total and commutative. *)
+let widen_alloc a b =
+  match merge_alloc a b with
+  | Ok x -> x
+  | Error _ ->
+      let rank = function
+        | ASonly -> 12
+        | ASowned -> 11
+        | ASrefcounted -> 10
+        | ASkept -> 9
+        | ASdependent -> 8
+        | ASshared -> 7
+        | AStemp -> 6
+        | ASobserver -> 5
+        | ASexposed -> 4
+        | ASstack -> 3
+        | ASstatic -> 2
+        | ASnone -> 1
+        | ASerror -> 0
+      in
+      if rank a >= rank b then a else b
+
 (** Does this allocation state carry an obligation to release storage? *)
 let has_obligation = function
   | ASonly | ASowned | ASrefcounted -> true

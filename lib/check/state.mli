@@ -62,6 +62,16 @@ val merge_alloc : allocstate -> allocstate -> (allocstate, allocstate * allocsta
 (** [Error] when the states cannot be sensibly combined (e.g. kept vs
     only, Figure 5/6). *)
 
+val widen_def : defstate -> defstate -> defstate
+(** Definition-state join for the [+loopexec] fixpoint: {!merge_def}
+    (dead dominates) with the [DSerror] marker transparent, so silenced
+    iterations cannot mask the converged state. *)
+
+val widen_alloc : allocstate -> allocstate -> allocstate
+(** Allocation-state join for the [+loopexec] fixpoint: {!merge_alloc}
+    when consistent, otherwise the side with the stronger outstanding
+    obligation.  Total and commutative. *)
+
 val has_obligation : allocstate -> bool
 (** Does the state carry an obligation to release/consume? *)
 

@@ -359,6 +359,125 @@ let merge ~(on_conflict : conflict -> unit) (a : t) (b : t) : t =
       let map = Sref.Map.merge merge_one a.map b.map in
       { map; reachable = true }
 
+(* ------------------------------------------------------------------ *)
+(* Widening ([+loopexec] back-edge joins)                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Structural refstate equality for fixpoint convergence.  Unlike
+   {!refstate_same} (which compares alias sets physically — right for
+   write elision, fatal for convergence, since [Set.union] rebuilds),
+   alias sets compare by contents.  Blame locations are deliberately
+   ignored: they only affect message text, the final reporting pass
+   recomputes them, and including them could keep an abstractly stable
+   store oscillating forever. *)
+let refstate_equal (a : refstate) (b : refstate) =
+  a == b
+  || equal_defstate a.rs_def b.rs_def
+     && equal_nullstate a.rs_null b.rs_null
+     && equal_allocstate a.rs_alloc b.rs_alloc
+     && Bool.equal a.rs_offset b.rs_offset
+     && Sref.Set.equal a.rs_aliases b.rs_aliases
+
+let equal (a : t) (b : t) =
+  Bool.equal a.reachable b.reachable
+  && (a.map == b.map || Sref.Map.equal refstate_equal a.map b.map)
+
+(** Refstate join for the loop fixpoint: the merge rules, but silent and
+    resolved toward danger — dead dominates ({!State.widen_def}),
+    irreconcilable allocation states keep the stronger obligation
+    ({!State.widen_alloc}) — so anomalies survive to the final reporting
+    pass instead of being error-masked here. *)
+let widen_refstate (xa : refstate) (xb : refstate) : refstate =
+  if xa == xb then xa
+  else
+    let alloc =
+      (* mirror the merge: a dead side's allocation state carries no
+         information, the live side's survives *)
+      if equal_defstate xa.rs_def DSdead then
+        if equal_defstate xb.rs_def DSdead then widen_alloc xa.rs_alloc xb.rs_alloc
+        else xb.rs_alloc
+      else if equal_defstate xb.rs_def DSdead then xa.rs_alloc
+      else widen_alloc xa.rs_alloc xb.rs_alloc
+    in
+    {
+      rs_def = widen_def xa.rs_def xb.rs_def;
+      rs_null = merge_null xa.rs_null xb.rs_null;
+      rs_alloc = alloc;
+      rs_offset = xa.rs_offset || xb.rs_offset;
+      rs_aliases =
+        (if xa.rs_aliases == xb.rs_aliases then xa.rs_aliases
+         else Sref.Set.union xa.rs_aliases xb.rs_aliases);
+      rs_defloc = (if xa.rs_defloc <> None then xa.rs_defloc else xb.rs_defloc);
+      rs_nullloc =
+        (if equal_nullstate xa.rs_null xb.rs_null then xa.rs_nullloc
+         else if equal_nullstate (merge_null xa.rs_null xb.rs_null) xa.rs_null
+         then xa.rs_nullloc
+         else xb.rs_nullloc);
+      rs_allocloc =
+        (if xa.rs_allocloc <> None then xa.rs_allocloc else xb.rs_allocloc);
+    }
+
+(** Widening join of two stores at a loop back edge.  Same one-sided
+    fill-in rules as {!merge} (so references first bound inside the body
+    get a sensible implicit state on the entry side), but reports
+    nothing: the fixpoint iterations are silent, only the final pass over
+    the converged store emits diagnostics. *)
+let widen (a : t) (b : t) : t =
+  match (a.reachable, b.reachable) with
+  | false, false -> { a with reachable = false }
+  | false, true -> b
+  | true, false -> a
+  | true, true when a.map == b.map -> a
+  | true, true ->
+      let widen_one r (sa : refstate option) (sb : refstate option) :
+          refstate option =
+        match (sa, sb) with
+        | Some xa, Some xb when xa == xb -> sa
+        | _ ->
+            let other_def = function
+              | Some (x : refstate) -> x.rs_def
+              | None -> DSdefined
+            in
+            let fill st s other = function
+              | Some x -> x
+              | None ->
+                  { unknown_refstate with rs_def = derived_def st s ~other }
+            in
+            let xa = fill a r (other_def sb) sa
+            and xb = fill b r (other_def sa) sb in
+            Some (widen_refstate xa xb)
+      in
+      { map = Sref.Map.merge widen_one a.map b.map; reachable = true }
+
+(** Collapse every binding deeper than [depth] onto its depth-[depth]
+    ancestor (joining states with {!widen_refstate}), and rewrite alias
+    sets through the same cap.  This is the widening that makes the
+    per-loop reference universe finite: a list walk like [p = p->next]
+    otherwise manufactures one more derivation level per iteration and
+    the fixpoint never closes. *)
+let collapse_deep ~depth (st : t) : t =
+  if not (Sref.Map.exists (fun r _ -> Sref.depth r > depth) st.map) then st
+  else
+    let cap r = Sref.ancestor_at_depth r depth in
+    let collapse_aliases (s : refstate) =
+      let a' = Sref.Set.map cap s.rs_aliases in
+      if a' == s.rs_aliases then s else { s with rs_aliases = a' }
+    in
+    let map =
+      Sref.Map.fold
+        (fun r s acc ->
+          let r' = cap r in
+          let s = collapse_aliases s in
+          let s =
+            match Sref.Map.find_opt r' acc with
+            | None -> s
+            | Some prior -> widen_refstate prior s
+          in
+          Sref.Map.add r' s acc)
+        st.map Sref.Map.empty
+    in
+    { st with map }
+
 let pp ppf st =
   Sref.Map.iter
     (fun r s ->

@@ -98,4 +98,24 @@ val merge : on_conflict:(conflict -> unit) -> t -> t -> t
 (** Merge two branch stores; conflicting references become error-marked so
     one anomaly does not cascade. *)
 
+val refstate_equal : refstate -> refstate -> bool
+(** Structural equality for fixpoint convergence: alias sets compare by
+    contents (not physically), blame locations are ignored. *)
+
+val equal : t -> t -> bool
+(** Structural store equality ({!refstate_equal} pointwise plus
+    reachability) — the [+loopexec] fixpoint's convergence test. *)
+
+val widen : t -> t -> t
+(** Widening join at a loop back edge: the {!merge} rules, silent, with
+    anomalies resolved toward the more dangerous state (dead dominates,
+    the stronger obligation survives) so the final reporting pass over
+    the converged store sees them. *)
+
+val collapse_deep : depth:int -> t -> t
+(** Collapse bindings deeper than [depth] onto their depth-[depth]
+    ancestor (joining with the widening rules) and rewrite alias sets
+    through the cap, keeping the per-loop reference universe finite
+    (e.g. under a [p = p->next] list walk). *)
+
 val pp : Format.formatter -> t -> unit

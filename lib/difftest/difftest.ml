@@ -108,6 +108,29 @@ type blind_spot = {
 let blind_spots (flags : Annot.Flags.t) =
   let spots = [] in
   let spots =
+    (* loop-carried divergences: the paper's zero-or-one-times loop
+       heuristic cannot connect a state change to its use across a back
+       edge; the [+loopexec] fixpoint recovers all three classes *)
+    if flags.Annot.Flags.loop_exec then spots
+    else
+      {
+        bs_class = "loop-leak";
+        bs_recover = Some "+loopexec";
+        bs_cite = "test_check.ml: blind-spots/loop-leak";
+      }
+      :: {
+           bs_class = "loop-use-after-free";
+           bs_recover = Some "+loopexec";
+           bs_cite = "test_check.ml: blind-spots/loop-use-after-free";
+         }
+      :: {
+           bs_class = "loop-null-deref";
+           bs_recover = Some "+loopexec";
+           bs_cite = "test_check.ml: blind-spots/loop-null-deref";
+         }
+      :: spots
+  in
+  let spots =
     if flags.Annot.Flags.free_offset then spots
     else
       {
@@ -158,6 +181,11 @@ let class_of_bug = function
   | Progen.Bfree_offset -> "free-offset"
   | Progen.Bfree_static -> "free-static"
   | Progen.Bglobal_leak -> Heap.class_global_leak
+  (* loop-carried bugs manifest at run time as ordinary heap events;
+     the "loop-" prefix only appears on the excused finding's class *)
+  | Progen.Bloop_leak -> "leak"
+  | Progen.Bloop_use_after_free -> "use-after-free"
+  | Progen.Bloop_null_deref -> "null-deref"
 
 let dedupe findings =
   let seen = Hashtbl.create 16 in
@@ -293,6 +321,20 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                   && blind_spot_for flags cls <> None)
                 free_roots
             and rooted file = List.mem_assoc file free_roots in
+            (* A run-time event is excused as a loop-carried blind spot
+               only when a seeded loop-kind bug of the same class sits
+               in the same file and the fixpoint is off — the metadata
+               gate keeps the excuse from swallowing ordinary gaps of
+               the same class. *)
+            let loop_spot file cls =
+              (not flags.Annot.Flags.loop_exec)
+              && List.exists
+                   (fun (sb : Progen.seeded) ->
+                     Progen.loop_carried sb.Progen.sb_kind
+                     && class_of_bug sb.Progen.sb_kind = cls
+                     && Progen.sb_file sb = file)
+                   seeded
+            in
             List.iter
               (fun (e : Heap.error) ->
                 let cls = Heap.error_class e.Heap.e_kind in
@@ -310,15 +352,29 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                               bs.bs_cite e.Heap.e_msg;
                         }
                   | None ->
-                      push
-                        {
-                          f_kind = Soundness_gap;
-                          f_class = cls;
-                          f_file = file;
-                          f_detail =
-                            "run-time error with no static witness: "
-                            ^ e.Heap.e_msg;
-                        })
+                      if loop_spot file cls then
+                        push
+                          {
+                            f_kind = Blind_spot;
+                            f_class = "loop-" ^ cls;
+                            f_file = file;
+                            f_detail =
+                              Fmt.str
+                                "loop-carried %s invisible to the \
+                                 zero-or-one-times heuristic (recover \
+                                 with +loopexec): %s"
+                                cls e.Heap.e_msg;
+                          }
+                      else
+                        push
+                          {
+                            f_kind = Soundness_gap;
+                            f_class = cls;
+                            f_file = file;
+                            f_detail =
+                              "run-time error with no static witness: "
+                              ^ e.Heap.e_msg;
+                          })
               dres.Rtcheck.errors;
             List.iter
               (fun (lk : Heap.leak) ->
@@ -352,6 +408,17 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                     (* the checker flagged the bogus free itself; the
                        leftover block is the same finding, not a gap *)
                     ()
+                  else if loop_spot file "leak" then
+                    push
+                      {
+                        f_kind = Blind_spot;
+                        f_class = "loop-leak";
+                        f_file = file;
+                        f_detail =
+                          "loop-carried leak invisible to the \
+                           zero-or-one-times heuristic (recover with \
+                           +loopexec)";
+                      }
                   else
                     push
                       {
@@ -577,8 +644,9 @@ let reduce ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
     ?(budget = 400) ~(key : finding) (p : Progen.program) : Progen.program =
   let checks = ref 0 in
   let seeded0 = p.Progen.seeded in
-  let valid files =
-    if !checks >= budget then false
+  let baseline = ref [] in
+  let classify_files files =
+    if !checks >= budget then None
     else begin
       incr checks;
       Telemetry.Counter.tick Telemetry.c_difftest_checks;
@@ -586,11 +654,31 @@ let reduce ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
         Progen.of_files ~seeded:(live_seeded files seeded0) files
       in
       match classify ~flags ~max_steps prog with
-      | v -> List.exists (matches_key key) v.v_findings
-      | exception _ -> false
+      | v -> Some v
+      | exception _ -> None
     end
   in
-  if not (valid p.Progen.files) then p
+  let valid files =
+    match classify_files files with
+    | None -> false
+    | Some v ->
+        List.exists (matches_key key) v.v_findings
+        (* a shrink that surfaces a divergence absent from the original
+           program has wandered onto a different bug (e.g. emptying a
+           loop's break arm turns a use-after-free into a double free):
+           reject it so reproducers stay faithful to what they pin *)
+        && List.for_all
+             (fun f -> List.exists (matches_key f) !baseline)
+             v.v_findings
+  in
+  let keyed =
+    match classify_files p.Progen.files with
+    | Some v when List.exists (matches_key key) v.v_findings ->
+        baseline := v.v_findings;
+        true
+    | _ -> false
+  in
+  if not keyed then p
   else begin
     let files = ref p.Progen.files in
     let try_accept candidate =

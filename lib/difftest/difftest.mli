@@ -65,7 +65,9 @@ type blind_spot = {
 
 val blind_spots : Annot.Flags.t -> blind_spot list
 (** The classes excused under [flags]: [free-offset] / [free-static]
-    unless their recovery flags are set, [global-leak] always, plus the
+    unless their recovery flags are set, [global-leak] always, the
+    loop-carried [loop-leak] / [loop-use-after-free] /
+    [loop-null-deref] classes unless [+loopexec] is set, plus the
     out-of-scope [bounds] and [bad-arg] classes. *)
 
 (** {1 Classification} *)
@@ -106,7 +108,9 @@ val reduce :
   key:finding -> Progen.program -> Progen.program
 (** Greedy delta debugging: drop whole modules, then whole functions,
     then single statements, keeping an edit only if the program still
-    classifies with a finding matching [key] on (kind, class, file).
+    classifies with a finding matching [key] on (kind, class, file) and
+    surfaces no divergence absent from the original program (a shrink
+    must not wander onto a different bug).
     [budget] caps re-validation runs (default 400); the input program
     is returned unchanged if it does not itself exhibit [key]. *)
 

@@ -32,11 +32,22 @@ type bug_kind =
   | Bglobal_leak
       (** storage reachable from a global, never freed before exit
           (static cannot see this; run-time leak checkers can) *)
+  | Bloop_leak
+      (** alloc on every loop iteration, freed only once after the loop:
+          invisible to the zero-or-one-times heuristic, caught under
+          [+loopexec] *)
+  | Bloop_use_after_free
+      (** storage released inside a loop body and used again on the next
+          trip around the back edge *)
+  | Bloop_null_deref
+      (** pointer re-nulled inside a loop, dereferenced on a later
+          iteration *)
 
 let all_bug_kinds =
   [
     Bleak; Buse_after_free; Bdouble_free; Bnull_deref; Buse_undef;
-    Bfree_offset; Bfree_static; Bglobal_leak;
+    Bfree_offset; Bfree_static; Bglobal_leak; Bloop_leak;
+    Bloop_use_after_free; Bloop_null_deref;
   ]
 
 let bug_kind_string = function
@@ -48,6 +59,18 @@ let bug_kind_string = function
   | Bfree_offset -> "free-offset"
   | Bfree_static -> "free-static"
   | Bglobal_leak -> "global-leak"
+  | Bloop_leak -> "loop-leak"
+  | Bloop_use_after_free -> "loop-use-after-free"
+  | Bloop_null_deref -> "loop-null-deref"
+
+(** Does this bug class need a loop back edge to manifest?  These are
+    invisible to the paper's zero-or-one-times loop heuristic and only
+    detectable statically under [+loopexec]. *)
+let loop_carried = function
+  | Bloop_leak | Bloop_use_after_free | Bloop_null_deref -> true
+  | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
+  | Bfree_offset | Bfree_static | Bglobal_leak ->
+      false
 
 (** One seeded bug: which function carries it, and whether the generated
     driver actually exercises that function (run-time tools only see
@@ -98,6 +121,10 @@ let expected_static ~(flags : Annot.Flags.t) = function
   | Bfree_offset -> flags.Annot.Flags.free_offset
   | Bfree_static -> flags.Annot.Flags.free_static
   | Bglobal_leak -> false
+  | Bloop_leak | Bloop_use_after_free | Bloop_null_deref ->
+      (* loop-carried: needs the [+loopexec] fixpoint to see the back
+         edge *)
+      flags.Annot.Flags.loop_exec
   | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef -> true
 
 (** What the run-time baseline observes for this class when the driver
@@ -108,9 +135,9 @@ let expected_static ~(flags : Annot.Flags.t) = function
 let expected_dynamic ~(executed : bool) = function
   | _ when not executed -> `Nothing
   | Bnull_deref -> `Nothing
-  | Bleak | Bglobal_leak -> `Leak
+  | Bleak | Bglobal_leak | Bloop_leak -> `Leak
   | Buse_after_free | Bdouble_free | Buse_undef | Bfree_offset | Bfree_static
-    ->
+  | Bloop_use_after_free | Bloop_null_deref ->
       `Error
 
 (* ------------------------------------------------------------------ *)
@@ -282,7 +309,48 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
           pf "void %s(void)\n{\n" fn;
           pf "  if (%s_cache != NULL) {\n    %s_destroy(%s_cache);\n  }\n" m m m;
           pf "  %s_cache = %s_create(7);\n" m m;
-          pf "}\n\n" (* never freed before exit; reachable from a global *)));
+          pf "}\n\n" (* never freed before exit; reachable from a global *)
+      | Bloop_leak ->
+          (* one block leaks per iteration except the last; a single
+             forward pass over the body sees one alloc, one free *)
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *p = NULL;\n";
+          pf "  int i;\n";
+          pf "  i = 0;\n";
+          pf "  while (i < 3) {\n";
+          pf "    p = (char *) malloc(16);\n";
+          pf "    if (p == NULL) {\n      exit(EXIT_FAILURE);\n    }\n";
+          pf "    i = i + 1;\n";
+          pf "  }\n";
+          pf "  if (p != NULL) {\n    free(p);\n  }\n}\n\n"
+      | Bloop_use_after_free ->
+          (* released at the bottom of the body, used again at the top of
+             the next trip: only a back edge connects release to use (the
+             break keeps the storage from being freed twice) *)
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  int i;\n";
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  i = 0;\n";
+          pf "  while (1) {\n";
+          pf "    r->weight = i;\n";
+          pf "    if (i == 1) {\n      break;\n    }\n";
+          pf "    free(r);\n";
+          pf "    i = i + 1;\n";
+          pf "  }\n}\n\n"
+      | Bloop_null_deref ->
+          (* re-nulled mid-loop, dereferenced on the following iteration *)
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *p = (char *) malloc(8);\n";
+          pf "  int i;\n";
+          pf "  if (p == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  i = 0;\n";
+          pf "  while (i < 3) {\n";
+          pf "    *p = 'x';\n";
+          pf "    if (i == 1) {\n      free(p);\n      p = NULL;\n    }\n";
+          pf "    i = i + 1;\n";
+          pf "  }\n";
+          pf "  if (p != NULL) {\n    free(p);\n  }\n}\n\n"));
   (Buffer.contents b, !carriers)
 
 (* ------------------------------------------------------------------ *)

@@ -17,9 +17,17 @@ type bug_kind =
   | Bfree_offset  (** static misses by default (footnote 8) *)
   | Bfree_static  (** static misses by default (footnote 8) *)
   | Bglobal_leak  (** invisible to the intraprocedural checker *)
+  | Bloop_leak  (** alloc per iteration, freed once after the loop *)
+  | Bloop_use_after_free  (** released in the body, used across the back edge *)
+  | Bloop_null_deref  (** re-nulled mid-loop, dereferenced next iteration *)
 
 val all_bug_kinds : bug_kind list
 val bug_kind_string : bug_kind -> string
+
+val loop_carried : bug_kind -> bool
+(** Needs a loop back edge to manifest — invisible to the paper's
+    zero-or-one-times heuristic, statically detectable only under
+    [+loopexec]. *)
 
 type seeded = {
   sb_kind : bug_kind;

@@ -212,6 +212,9 @@ let c_suppressed = Counter.make "suppressed_total"
 let c_difftest_trials = Counter.make "difftest_trials"
 let c_difftest_findings = Counter.make "difftest_findings"
 let c_difftest_checks = Counter.make "difftest_reduction_checks"
+let c_loop_fixpoint_iters = Counter.make "loop_fixpoint_iters"
+let c_loop_widenings = Counter.make "loop_widenings"
+let c_loop_bailouts = Counter.make "loop_bailouts"
 let diag_counter_prefix = "diag."
 
 let reset () =

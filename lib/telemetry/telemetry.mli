@@ -143,6 +143,18 @@ val c_difftest_findings : Counter.t
 val c_difftest_checks : Counter.t
 (** Re-validation runs performed by the delta-debugging reducer. *)
 
+val c_loop_fixpoint_iters : Counter.t
+(** Loop-body re-analyses performed by the [+loopexec] fixpoint engine
+    (one tick per iteration of any loop's fixpoint computation). *)
+
+val c_loop_widenings : Counter.t
+(** Fixpoint rounds whose widened loop-entry store changed (i.e. the
+    back edge contributed new abstract states). *)
+
+val c_loop_bailouts : Counter.t
+(** Loops whose fixpoint failed to converge within the [-loopiter]
+    bound and fell back to the zero-or-one-times heuristic. *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
 

@@ -304,6 +304,69 @@ expect_contains "$tmp/out" "blind-spot" "oldiff -verbose prints excused divergen
 ls "$tmp/redux"/*.c > /dev/null 2>&1 || fail "oldiff -reduce should write a reproducer"
 ls "$tmp/redux"/*.json > /dev/null 2>&1 || fail "oldiff -reduce should write a triage record"
 
+# --- +loopexec: the loop fixpoint mode --------------------------------------
+cat > "$tmp/loop.c" <<'EOF'
+void f(void)
+{
+  char *p = NULL;
+  int i;
+  i = 0;
+  while (i < 3) {
+    p = (char *) malloc(16);
+    if (p == NULL) {
+      exit(1);
+    }
+    i = i + 1;
+  }
+  if (p != NULL) {
+    free(p);
+  }
+}
+EOF
+
+# the leak-in-loop is invisible to the default heuristic...
+"$OLCLINT" "$tmp/loop.c" > "$tmp/out" 2>&1 \
+  || fail "loop-carried leak should be silent under default flags"
+# ...caught by the bare +loopexec spelling...
+"$OLCLINT" +loopexec "$tmp/loop.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "+loopexec should flag the loop-carried leak"
+expect_contains "$tmp/out" "not released before assignment" "+loopexec leak message"
+# ...and by the -f spellings
+"$OLCLINT" -f +loopexec "$tmp/loop.c" > "$tmp/out2" 2>&1
+cmp -s "$tmp/out" "$tmp/out2" || fail "-f +loopexec must match bare +loopexec"
+
+# -loopiter N is sugar for -f loopiter=N; a bound of 1 cannot converge,
+# so the loop bails out to the heuristic and the warning disappears
+"$OLCLINT" +loopexec -loopiter 1 "$tmp/loop.c" > "$tmp/out" 2>&1 \
+  || fail "-loopiter 1 should bail out to the silent heuristic"
+"$OLCLINT" +loopexec -f loopiter=1 "$tmp/loop.c" > "$tmp/out2" 2>&1 \
+  || fail "-f loopiter=1 should bail out to the silent heuristic"
+cmp -s "$tmp/out" "$tmp/out2" || fail "-loopiter 1 must match -f loopiter=1"
+
+# a typo'd spelling gets a suggestion
+"$OLCLINT" +loopexce "$tmp/loop.c" > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "unknown +loopexce should exit 2"
+expect_contains "$tmp/out" "did you mean 'loopexec'?" "+loopexce suggestion"
+
+# the fixpoint counters surface in -stats
+"$OLCLINT" -q -stats +loopexec "$tmp/loop.c" > /dev/null 2> "$tmp/err"
+expect_contains "$tmp/err" "loop_fixpoint_iters" "-stats surfaces fixpoint iterations"
+expect_contains "$tmp/err" "loop_widenings" "-stats surfaces widenings"
+"$OLCLINT" -q -stats +loopexec -loopiter 1 "$tmp/loop.c" > /dev/null 2> "$tmp/err"
+expect_contains "$tmp/err" "loop_bailouts" "-stats surfaces bailouts"
+
+# oldiff accepts the same spellings: under +loopexec the loop-carried
+# classes stop being excused blind spots (they are caught statically)
+"$OLDIFF" -seed 6 -runs 1 +loopexec -verbose > "$tmp/out" 2>&1 \
+  || fail "oldiff +loopexec smoke should exit 0"
+grep -q "loop-" "$tmp/out" && fail "oldiff +loopexec should not excuse loop-* classes"
+"$OLDIFF" -seed 6 -runs 1 -f +loopexec -verbose > "$tmp/out2" 2>&1 \
+  || fail "oldiff -f +loopexec smoke should exit 0"
+cmp -s "$tmp/out" "$tmp/out2" || fail "oldiff -f +loopexec must match bare +loopexec"
+"$OLDIFF" -seed 6 -runs 1 +loopexce > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "oldiff unknown +loopexce should exit 2"
+expect_contains "$tmp/out" "did you mean 'loopexec'?" "oldiff +loopexce suggestion"
+
 # --- summary ----------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then
   echo "cli tests: $failures failure(s)" >&2

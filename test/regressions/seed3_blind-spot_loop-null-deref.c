@@ -1,0 +1,33 @@
+/* === file: m2.c === */
+/* module m2 -- generated */
+
+typedef struct _m2_rec {
+} m2_rec;
+
+
+
+
+void m2_buggy(void)
+{
+  char *p = (char *) malloc(8);
+  int i;
+  if (p == NULL) {
+    exit(EXIT_FAILURE);
+  }
+  while (i < 3) {
+    *p = 'x';
+    if (i == 1) {
+      p = NULL;
+    }
+    i = i + 1;
+  }
+  if (p != NULL) {
+  }
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m2_buggy();
+}

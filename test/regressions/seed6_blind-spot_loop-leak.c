@@ -1,0 +1,29 @@
+/* === file: m0.c === */
+/* module m0 -- generated */
+
+typedef struct _m0_rec {
+} m0_rec;
+
+
+
+
+void m0_buggy(void)
+{
+  char *p = NULL;
+  int i;
+  while (i < 3) {
+    p = (char *) malloc(16);
+    if (p == NULL) {
+    }
+  }
+  if (p != NULL) {
+    free(p);
+  }
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m0_buggy();
+}

@@ -1,0 +1,33 @@
+/* === file: m1.c === */
+/* module m1 -- generated */
+
+typedef struct _m1_rec {
+  int weight;
+} m1_rec;
+
+
+
+
+
+void m1_buggy(void)
+{
+  m1_rec *r = (m1_rec *) malloc(sizeof(m1_rec));
+  int i;
+  if (r == NULL) {
+  }
+  while (1) {
+    r->weight = i;
+    if (i == 1) {
+      break;
+    }
+    free(r);
+    i = i + 1;
+  }
+}
+/* === file: driver.c === */
+/* driver -- generated */
+
+int main(void)
+{
+  m1_buggy();
+}

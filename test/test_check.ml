@@ -693,6 +693,10 @@ let modifies_tests =
 type blind_spot_case = {
   bc_name : string;  (** = the suffix of the oracle's [bs_cite] *)
   bc_src : string;
+  bc_default_codes : string list;
+      (** exact codes under default flags — usually nothing at all; the
+          loop-carried cases surface only a path-merge [branchstate],
+          never the witnessing error class *)
   bc_recover : (Flags.t * string) option;
       (** recovery flags and the code they surface, when any exist *)
 }
@@ -704,12 +708,14 @@ let blind_spot_cases =
       bc_src =
         "void f(void) { char *p = (char *) malloc(8); if (p == NULL) { \
          exit(1); } p = p + 2; free(p); }";
+      bc_default_codes = [];
       bc_recover =
         Some ({ Flags.default with Flags.free_offset = true }, "freeoffset");
     };
     {
       bc_name = "free-static";
       bc_src = "void f(void) { char *p = \"lit\"; free(p); }";
+      bc_default_codes = [];
       bc_recover =
         Some ({ Flags.default with Flags.free_static = true }, "freestatic");
     };
@@ -728,14 +734,51 @@ let blind_spot_cases =
         \  if (cache != NULL) { free(cache); }\n\
         \  cache = mk();\n\
          }\n";
+      bc_default_codes = [];
       bc_recover = None;
+    };
+    (* the loop-carried classes: each needs a loop back edge to manifest,
+       which the paper's zero-or-one-times heuristic never follows
+       (Section 5: "loop bodies are analyzed as though they execute
+       either zero or one times") *)
+    {
+      bc_name = "loop-leak";
+      bc_src =
+        "void f(void) { char *p = NULL; int i; i = 0; while (i < 3) { p = \
+         (char *) malloc(16); if (p == NULL) { exit(1); } i = i + 1; } if (p \
+         != NULL) { free(p); } }";
+      bc_default_codes = [];
+      bc_recover =
+        Some ({ Flags.default with Flags.loop_exec = true }, "mustfree");
+    };
+    {
+      bc_name = "loop-use-after-free";
+      bc_src =
+        "typedef struct _rec { int w; } rec;\n\
+         void f(void) { rec *r = (rec *) malloc(sizeof(rec)); int i; if (r \
+         == NULL) { exit(1); } i = 0; while (1) { r->w = i; if (i == 1) { \
+         break; } free(r); i = i + 1; } }";
+      bc_default_codes = [ "branchstate"; "branchstate" ];
+      bc_recover =
+        Some ({ Flags.default with Flags.loop_exec = true }, "usereleased");
+    };
+    {
+      bc_name = "loop-null-deref";
+      bc_src =
+        "void f(void) { char *p = (char *) malloc(8); int i; if (p == NULL) \
+         { exit(1); } i = 0; while (i < 3) { *p = 'x'; if (i == 1) { \
+         free(p); p = NULL; } i = i + 1; } if (p != NULL) { free(p); } }";
+      bc_default_codes = [ "branchstate" ];
+      bc_recover =
+        Some ({ Flags.default with Flags.loop_exec = true }, "nullderef");
     };
   ]
 
 let test_blind_spot (c : blind_spot_case) () =
-  (* missed under the oracle's flags (plain defaults, not paper_flags) *)
-  check_codes ~flags:Flags.default (c.bc_name ^ ": missed by default") []
-    c.bc_src;
+  (* missed under the oracle's flags (plain defaults, not paper_flags):
+     the pinned default codes never include the witnessing class *)
+  check_codes ~flags:Flags.default (c.bc_name ^ ": missed by default")
+    c.bc_default_codes c.bc_src;
   (match c.bc_recover with
   | Some (flags, code) ->
       let r = check ~flags c.bc_src in
@@ -767,6 +810,156 @@ let blind_spot_tests =
   List.map
     (fun c -> Alcotest.test_case c.bc_name `Quick (test_blind_spot c))
     blind_spot_cases
+
+(* ------------------------------------------------------------------ *)
+(* +loopexec: loop bodies re-analysed to a store fixpoint              *)
+(* ------------------------------------------------------------------ *)
+
+let loopexec_flags = { Flags.default with Flags.loop_exec = true }
+
+(* a clean linked-list walk: the derivation [n = n->next] would grow an
+   unbounded sref chain without the depth cap, and the def/null states
+   oscillate until widened *)
+let list_walk_src =
+  "typedef struct _node { int v; /*@null@*/ struct _node *next; } node;\n\
+   int sum(/*@null@*/ /*@temp@*/ node *n) {\n\
+  \  int s;\n\
+  \  s = 0;\n\
+  \  while (n != NULL) {\n\
+  \    s = s + n->v;\n\
+  \    n = n->next;\n\
+  \  }\n\
+  \  return s;\n\
+   }\n"
+
+let loop_leak_src =
+  "void f(void) { char *p = NULL; int i; i = 0; while (i < 3) { p = (char \
+   *) malloc(16); if (p == NULL) { exit(1); } i = i + 1; } if (p != NULL) { \
+   free(p); } }"
+
+(* run [f] with telemetry collection on, returning (result, counter
+   deltas for the three loop counters) *)
+let with_loop_counters f =
+  Telemetry.set_enabled true;
+  let read () =
+    Telemetry.Counter.
+      ( value Telemetry.c_loop_fixpoint_iters,
+        value Telemetry.c_loop_widenings,
+        value Telemetry.c_loop_bailouts )
+  in
+  let i0, w0, b0 = read () in
+  let r = f () in
+  let i1, w1, b1 = read () in
+  Telemetry.set_enabled false;
+  (r, (i1 - i0, w1 - w0, b1 - b0))
+
+let test_loopexec_convergence () =
+  (* the list walk converges within the default bound, stays silent, and
+     the sref depth cap keeps the chase finite (no bailout) *)
+  let r, (iters, widenings, bailouts) =
+    with_loop_counters (fun () -> check ~flags:loopexec_flags list_walk_src)
+  in
+  Alcotest.(check (list string)) "clean walk stays clean" [] (codes r);
+  Alcotest.(check bool) "at least one fixpoint round" true (iters >= 1);
+  Alcotest.(check bool) "within the default bound" true
+    (iters <= Flags.default.Flags.loop_iter);
+  Alcotest.(check bool) "the entry store widened at least once" true
+    (widenings >= 1);
+  Alcotest.(check int) "no bailout" 0 bailouts
+
+let test_loopexec_bailout () =
+  (* an iteration bound of 1 cannot reach the fixpoint: the loop must
+     bail out (counted) and reproduce the heuristic's verdict exactly *)
+  let tight = { loopexec_flags with Flags.loop_iter = 1 } in
+  let r, (_, _, bailouts) =
+    with_loop_counters (fun () -> check ~flags:tight loop_leak_src)
+  in
+  Alcotest.(check bool) "bailout counted" true (bailouts >= 1);
+  let r0 = check ~flags:Flags.default loop_leak_src in
+  Alcotest.(check (list string)) "bailout reproduces the heuristic"
+    (codes r0) (codes r)
+
+let test_loopexec_widen_oscillating_null () =
+  (* p is notnull on loop entry and re-nulled on one body path: the
+     null states oscillate until widened to possnull, at which point the
+     dereference at the top of the body is flagged *)
+  let r =
+    check ~flags:loopexec_flags
+      "void f(void) { char *p = (char *) malloc(8); int i; if (p == NULL) { \
+       exit(1); } i = 0; while (i < 3) { *p = 'x'; if (i == 1) { free(p); p \
+       = NULL; } i = i + 1; } if (p != NULL) { free(p); } }"
+  in
+  Alcotest.(check bool) "re-null across the back edge caught" true
+    (has_code r "nullderef")
+
+let test_loopexec_continue_feeds_back_edge () =
+  (* storage freed only on a continue path must reach the next
+     iteration's entry: the use at the top of the body is then a use of
+     released storage *)
+  let r =
+    check ~flags:loopexec_flags
+      "void f(void) { char *p = (char *) malloc(8); int i; if (p == NULL) { \
+       exit(1); } i = 0; while (i < 3) { *p = 'x'; if (i == 0) { free(p); i \
+       = i + 1; continue; } i = i + 1; } }"
+  in
+  Alcotest.(check bool) "continue store feeds the back edge" true
+    (has_code r "usereleased")
+
+let test_loopexec_break_feeds_exit () =
+  (* a definition made only on the break path is undefined on the
+     fall-out path: the merge at the loop exit must see both stores in
+     fixpoint mode too *)
+  let r =
+    check ~flags:loopexec_flags
+      "int f(int n) { int i; int y; i = 0; while (i < n) { if (i == 3) { y \
+       = 1; break; } i = i + 1; } return y; }"
+  in
+  Alcotest.(check bool) "break store reaches the loop exit" true
+    (has_code r "usedef")
+
+(* the Sdo at-least-once pins: the paper treats do bodies as executing
+   at least once, so anomalies inside the body must surface under the
+   default heuristic, not only under +loopexec *)
+
+let test_do_body_usedef_default () =
+  let r =
+    check ~flags:Flags.default
+      "int f(void) { int s; int x; s = 0; do { s = s + x; } while (s < 3); \
+       return s; }"
+  in
+  Alcotest.(check bool) "use-before-def inside a do body" true
+    (has_code r "usedef")
+
+let test_do_body_release_default () =
+  check_codes ~flags:Flags.default "release inside a do body is seen" []
+    "void f(void) { char *p = (char *) malloc(8); if (p == NULL) { exit(1); \
+     } do { free(p); } while (0); }"
+
+let test_do_at_least_once_loopexec () =
+  let r =
+    check ~flags:loopexec_flags
+      "int f(void) { int s; int x; s = 0; do { s = s + x; } while (s < 3); \
+       return s; }"
+  in
+  Alcotest.(check bool) "do body analysed at least once under +loopexec" true
+    (has_code r "usedef")
+
+let loopexec_tests =
+  [
+    Alcotest.test_case "convergence within bound" `Quick
+      test_loopexec_convergence;
+    Alcotest.test_case "bailout at loopiter=1" `Quick test_loopexec_bailout;
+    Alcotest.test_case "oscillating null widened" `Quick
+      test_loopexec_widen_oscillating_null;
+    Alcotest.test_case "continue feeds back edge" `Quick
+      test_loopexec_continue_feeds_back_edge;
+    Alcotest.test_case "break feeds exit" `Quick test_loopexec_break_feeds_exit;
+    Alcotest.test_case "do usedef (default)" `Quick test_do_body_usedef_default;
+    Alcotest.test_case "do release (default)" `Quick
+      test_do_body_release_default;
+    Alcotest.test_case "do at-least-once (+loopexec)" `Quick
+      test_do_at_least_once_loopexec;
+  ]
 
 let () =
   Alcotest.run "check"
@@ -850,6 +1043,7 @@ let () =
       ("refcounting", refcount_tests);
       ("modifies", modifies_tests);
       ("blind-spots", blind_spot_tests);
+      ("loops", loopexec_tests);
       ( "suppression",
         [
           Alcotest.test_case "line" `Quick test_suppress_line;

@@ -81,8 +81,9 @@ let test_replay_recovery_flags () =
                 false replayed.Difftest.r_matched))
     (corpus ())
 
-(* The corpus must cover each recoverable footnote-8 blind spot and the
-   interprocedural global leak at least once. *)
+(* The corpus must cover each recoverable footnote-8 blind spot, the
+   interprocedural global leak, and each loop-carried class at least
+   once. *)
 let test_corpus_covers_blind_spots () =
   let classes =
     List.filter_map
@@ -97,7 +98,10 @@ let test_corpus_covers_blind_spots () =
       Alcotest.(check bool)
         (Printf.sprintf "corpus has a %s reproducer" cls)
         true (List.mem cls classes))
-    [ "free-offset"; "free-static"; "global-leak" ]
+    [
+      "free-offset"; "free-static"; "global-leak"; "loop-leak";
+      "loop-use-after-free"; "loop-null-deref";
+    ]
 
 (* ------------------------------------------------------------------ *)
 (* Oracle classification *)

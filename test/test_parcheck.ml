@@ -19,8 +19,7 @@ let examples =
 
 (* a fresh environment per run: checking may extend symbol tables, so
    the two runs must not share one *)
-let analyze_examples () =
-  let flags = Annot.Flags.default in
+let analyze_examples ?(flags = Annot.Flags.default) () =
   let prog = Stdspec.environment ~flags () in
   List.iter
     (fun file ->
@@ -60,6 +59,17 @@ let test_default_jobs () =
   Alcotest.(check bool) "default_jobs is positive" true
     (Parcheck.default_jobs () >= 1)
 
+let test_loopexec_seq_vs_parallel () =
+  (* the +loopexec fixpoint must stay deterministic under the parallel
+     driver: worker partitioning cannot change convergence, widening, or
+     bailout decisions *)
+  let flags = { Annot.Flags.default with Annot.Flags.loop_exec = true } in
+  let p1 = analyze_examples ~flags () in
+  let seq = render p1 (Parcheck.check_program ~jobs:1 p1) in
+  let p4 = analyze_examples ~flags () in
+  let par = render p4 (Parcheck.check_program ~jobs:4 p4) in
+  Alcotest.(check string) "+loopexec sequential vs -j 4 JSON" seq par
+
 let () =
   Alcotest.run "parcheck"
     [
@@ -68,5 +78,7 @@ let () =
           Alcotest.test_case "sequential vs -j 4" `Quick test_seq_vs_parallel;
           Alcotest.test_case "jobs > tasks" `Quick test_more_jobs_than_tasks;
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
+          Alcotest.test_case "+loopexec sequential vs -j 4" `Quick
+            test_loopexec_seq_vs_parallel;
         ] );
     ]
