@@ -1069,6 +1069,203 @@ let loops_exp () =
   if !bad then exit 3
 
 (* ------------------------------------------------------------------ *)
+(* E13: incremental checking service                                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Replace the first occurrence of [what] in [text]; the anchor must be
+   present (the bench is meaningless if the edit did not land). *)
+let patch_once ~file ~what ~with_ text =
+  let wl = String.length what and tl = String.length text in
+  let rec find i =
+    if i + wl > tl then None
+    else if String.sub text i wl = what then Some i
+    else find (i + 1)
+  in
+  match find 0 with
+  | None ->
+      Printf.eprintf "incr: edit anchor %S not found in %s\n" what file;
+      exit 2
+  | Some i ->
+      String.sub text 0 i ^ with_ ^ String.sub text (i + wl) (tl - i - wl)
+
+let incr_exp () =
+  section "E13: incremental checking -- warm re-check after one edit";
+  row "  A fixed-seed generated corpus is checked cold through the\n";
+  row "  incremental service, then one function body is edited and the\n";
+  row "  same documents are re-submitted.  The warm request must patch\n";
+  row "  the single dirty body into the persistent environment, re-check\n";
+  row "  exactly one function, run >100x faster than a cold check of the\n";
+  row "  edited corpus, and produce byte-identical diagnostics -- at\n";
+  row "  every -j and across a save/load service restart.  Written to\n";
+  row "  BENCH_incr.json.\n\n";
+  let modules = 240 and fns_per_module = 25 in
+  let p =
+    Progen.generate ~seed:!seed_flag ~modules ~fns_per_module
+      ~bugs:Progen.all_bug_kinds ()
+  in
+  let flags = { Annot.Flags.default with Annot.Flags.loop_exec = true } in
+  let docs_of files =
+    List.map
+      (fun (name, text) -> { Incr.Service.doc_name = name; doc_text = text })
+      files
+  in
+  let edit_file target what with_ files =
+    List.map
+      (fun (name, text) ->
+        if name = target then
+          (name, patch_once ~file:target ~what ~with_ text)
+        else (name, text))
+      files
+  in
+  (* scenario A: a body-only edit of m120_bump (module 120 carries no
+     seeded bug, so the diagnostic set is stable under the edit) *)
+  let files0 = p.Progen.files in
+  let files1 =
+    edit_file "m120.c" "  r->weight = r->weight + by;\n"
+      "  r->weight = r->weight + by + 1;\n" files0
+  in
+  (* scenario B: an interface edit -- drop the only annotation from
+     m120_create's declaration, invalidating it and its callers *)
+  let files2 =
+    edit_file "m120.c" "/*@only@*/ m120_rec *m120_create"
+      "m120_rec *m120_create" files1
+  in
+  let run ?(jobs = 1) svc files =
+    match Incr.Service.check ~jobs svc (docs_of files) with
+    | Ok oc -> oc
+    | Error d ->
+        Printf.eprintf "incr: fatal frontend error: %s\n"
+          (Cfront.Diag.to_string d);
+        exit 2
+  in
+  let render (oc : Incr.Service.outcome) =
+    List.map Cfront.Diag.to_string oc.Incr.Service.oc_kept
+    @ List.map
+        (fun d -> "suppressed: " ^ Cfront.Diag.to_string d)
+        oc.Incr.Service.oc_suppressed
+  in
+  let bad = ref false in
+  let fail fmt = Printf.ksprintf (fun s -> Printf.eprintf "incr: %s\n" s;
+                                   bad := true) fmt in
+  let expect_tier what expected (oc : Incr.Service.outcome) =
+    let got = Incr.Service.tier_name oc.Incr.Service.oc_tier in
+    if got <> expected then fail "%s answered at tier %s (want %s)" what got
+        expected
+  in
+  let expect_same what a b =
+    if a <> b then fail "%s diagnostics differ" what
+  in
+  let functions = modules * (fns_per_module + 10) in
+  ignore functions;
+  row "  corpus: %d modules, %d lines, seed %d, flags +loopexec\n\n" modules
+    p.Progen.loc !seed_flag;
+  row "  %-34s %5s %10s %9s %9s\n" "request" "jobs" "time" "tier" "recheck";
+  let show name jobs dt (oc : Incr.Service.outcome) =
+    row "  %-34s %5d %9.3fs %9s %9d\n" name jobs dt
+      (Incr.Service.tier_name oc.Incr.Service.oc_tier)
+      oc.Incr.Service.oc_rechecked
+  in
+  (* -j 1 *)
+  let svc = Incr.Service.create ~flags () in
+  let oc_cold, t_cold = time (fun () -> run svc files0) in
+  show "cold (pristine corpus)" 1 t_cold oc_cold;
+  let oc_warm, t_warm = time (fun () -> run svc files1) in
+  show "warm (one body edited)" 1 t_warm oc_warm;
+  (* the byte-identity and speedup reference: a cold check of the
+     edited corpus in a fresh service *)
+  let svc_ref = Incr.Service.create ~flags () in
+  let oc_ref, t_ref = time (fun () -> run svc_ref files1) in
+  show "cold (edited corpus, reference)" 1 t_ref oc_ref;
+  expect_tier "cold" "cold" oc_cold;
+  expect_tier "warm body edit" "patched" oc_warm;
+  if oc_warm.Incr.Service.oc_rechecked <> 1 then
+    fail "warm body edit re-checked %d functions (want exactly 1)"
+      oc_warm.Incr.Service.oc_rechecked;
+  expect_same "warm vs cold reference" (render oc_warm) (render oc_ref);
+  let speedup = if t_warm > 0.0 then t_ref /. t_warm else 0.0 in
+  row "  warm re-check speedup over cold: %.0fx\n\n" speedup;
+  if speedup <= 100.0 then
+    fail "warm re-check only %.1fx faster than cold (want >100x)" speedup;
+  (* -j 4: same requests through the domain pool, byte-identical
+     output (forced to 4 domains even on one core, like E10) *)
+  let jobs = 4 in
+  let svc4 = Incr.Service.create ~flags () in
+  let oc_cold4, t_cold4 = time (fun () -> run ~jobs svc4 files0) in
+  show "cold (pristine corpus)" jobs t_cold4 oc_cold4;
+  let oc_warm4, t_warm4 = time (fun () -> run ~jobs svc4 files1) in
+  show "warm (one body edited)" jobs t_warm4 oc_warm4;
+  expect_same "-j cold" (render oc_cold4) (render oc_cold);
+  expect_same "-j warm" (render oc_warm4) (render oc_warm);
+  (* scenario B: the funsig edit must re-check the function plus its
+     callers -- and nothing close to the whole corpus *)
+  let oc_sig, t_sig = time (fun () -> run svc files2) in
+  show "warm (m120_create funsig edited)" 1 t_sig oc_sig;
+  expect_tier "funsig edit" "rebuilt" oc_sig;
+  let svc_ref2 = Incr.Service.create ~flags () in
+  let oc_ref2, _ = time (fun () -> run svc_ref2 files2) in
+  expect_same "funsig edit vs cold reference" (render oc_sig)
+    (render oc_ref2);
+  let total_fns = oc_ref2.Incr.Service.oc_functions in
+  if oc_sig.Incr.Service.oc_rechecked < 2 then
+    fail "funsig edit re-checked %d functions (want the function + callers)"
+      oc_sig.Incr.Service.oc_rechecked;
+  if oc_sig.Incr.Service.oc_rechecked * 10 > total_fns then
+    fail "funsig edit re-checked %d of %d functions (want a small slice)"
+      oc_sig.Incr.Service.oc_rechecked total_fns;
+  row "  funsig edit re-checked %d of %d functions\n"
+    oc_sig.Incr.Service.oc_rechecked total_fns;
+  (* restart adoption: persist the edited-corpus cache, load it into a
+     fresh service, and re-check without re-checking anything *)
+  let blob = Incr.Service.save svc_ref in
+  let svc_new = Incr.Service.create ~flags () in
+  (match Incr.Service.load svc_new blob with
+  | Ok n -> row "  persisted cache: %d summaries, %d bytes\n" n
+              (String.length blob)
+  | Error msg ->
+      fail "persisted cache rejected: %s" msg);
+  let oc_restart, t_restart = time (fun () -> run svc_new files1) in
+  show "restart (cache adopted)" 1 t_restart oc_restart;
+  if oc_restart.Incr.Service.oc_rechecked <> 0 then
+    fail "restart re-checked %d functions (want 0: all adopted by key)"
+      oc_restart.Incr.Service.oc_rechecked;
+  expect_same "restart vs cold reference" (render oc_restart)
+    (render oc_ref);
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "incr");
+          ("seed", Int !seed_flag);
+          ("modules", Int modules);
+          ("fns_per_module", Int fns_per_module);
+          ("lines", Int p.Progen.loc);
+          ("functions", Int total_fns);
+          ("jobs", Int jobs);
+          ("cold_seconds", Float t_cold);
+          ("cold_edited_seconds", Float t_ref);
+          ("warm_seconds", Float t_warm);
+          ("speedup", Float speedup);
+          ("warm_rechecked", Int oc_warm.Incr.Service.oc_rechecked);
+          ("funsig_seconds", Float t_sig);
+          ("funsig_rechecked", Int oc_sig.Incr.Service.oc_rechecked);
+          ("restart_seconds", Float t_restart);
+          ("restart_rechecked", Int oc_restart.Incr.Service.oc_rechecked);
+          ("cache_bytes", Int (String.length blob));
+          ("warnings", Int (List.length oc_ref.Incr.Service.oc_kept));
+          ( "suppressed",
+            Int (List.length oc_ref.Incr.Service.oc_suppressed) );
+          ("cold_j4_seconds", Float t_cold4);
+          ("warm_j4_seconds", Float t_warm4);
+        ])
+  in
+  let oc = open_out "BENCH_incr.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_incr.json\n";
+  if !bad then exit 3
+
+(* ------------------------------------------------------------------ *)
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -1089,6 +1286,7 @@ let experiments =
     ("scale", scale);
     ("difftest", difftest_exp);
     ("loops", loops_exp);
+    ("incr", incr_exp);
   ]
 
 let () =

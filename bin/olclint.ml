@@ -20,7 +20,18 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
-    timings json infer_report jobs =
+    timings json infer_report jobs server cache dump_flags dump_counters =
+  (* introspection hooks for the doc-drift gate (test/doc_drift.sh):
+     machine-readable lists of every checking flag and every registered
+     telemetry counter, to cross-check against docs/diagnostics.md *)
+  if dump_flags then begin
+    List.iter print_endline Annot.Flags.flag_names;
+    exit 0
+  end;
+  if dump_counters then begin
+    List.iter print_endline (Telemetry.registered_counters ());
+    exit 0
+  end;
   let flags =
     match Annot.Flags.(apply_all default) flag_args with
     | Ok f -> f
@@ -37,6 +48,23 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
         exit 2
   in
   if stats || timings then Telemetry.set_enabled true;
+  (* [-server]: become the incremental checking daemon — NDJSON requests
+     on stdin, one response per line on stdout (docs/incremental.md).
+     The CLI's flag set, libraries and specs configure the service; any
+     positional files are ignored (clients name files per request). *)
+  if server then begin
+    (match
+       let load = List.map (fun l -> (l, read_file l)) load_libs in
+       let specs = List.map (fun s -> (s, read_file s)) lcl_specs in
+       Incr.Service.create ~flags ~no_stdlib ~load_libs:load ~lcl_specs:specs
+         ()
+     with
+    | exception Sys_error msg ->
+        Printf.eprintf "olclint: %s\n" msg;
+        exit 2
+    | svc -> Incr.Server.serve ?cache svc stdin stdout);
+    exit 0
+  end;
   let prog =
     if no_stdlib then Sema.create_program ~flags ~file:"<none>" ()
     else Stdspec.environment ~flags ()
@@ -219,6 +247,41 @@ let jobs_arg =
            N: diagnostics are buffered per file and emitted in \
            deterministic (file, line, column, code) order.")
 
+let server_arg =
+  Arg.(
+    value & flag
+    & info [ "server" ]
+        ~doc:
+          "Run as the incremental checking daemon: newline-delimited JSON \
+           requests (check, invalidate, stats, shutdown) on stdin, one \
+           response per line on stdout, backed by a content-hashed summary \
+           cache so warm re-checks only touch what an edit can affect.  \
+           See docs/incremental.md for the protocol.")
+
+let cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "cache" ] ~docv:"FILE"
+        ~doc:
+          "With $(b,-server): load the persisted summary cache from FILE at \
+           startup (if present and valid) and write it back on shutdown, so \
+           a restarted server warms up without re-checking.")
+
+let dump_flags_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-flags" ]
+        ~doc:"Print every checking flag name, one per line, and exit.")
+
+let dump_counters_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-counters" ]
+        ~doc:
+          "Print every registered telemetry counter name, one per line, and \
+           exit.")
+
 let cmd =
   let doc =
     "static detection of dynamic memory errors (LCLint-style checker)"
@@ -228,7 +291,8 @@ let cmd =
     Term.(
       const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
       $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
-      $ json_arg $ infer_arg $ jobs_arg)
+      $ json_arg $ infer_arg $ jobs_arg $ server_arg $ cache_arg
+      $ dump_flags_arg $ dump_counters_arg)
 
 (* LCLint heritage: tolerate single-dash spellings of the long flags
    ([-json], [-stats], [-timings], [-infer]) by rewriting them before
@@ -244,6 +308,10 @@ let argv =
            '+', which must not be expanded a second time) *)
         "-f" :: v :: rewrite rest
     | "-loopiter" :: n :: rest -> "-f" :: ("loopiter=" ^ n) :: rewrite rest
+    | "-server" :: rest -> "--server" :: rewrite rest
+    | "-cache" :: rest -> "--cache" :: rewrite rest
+    | "-dump-flags" :: rest -> "--dump-flags" :: rewrite rest
+    | "-dump-counters" :: rest -> "--dump-counters" :: rewrite rest
     | "-stats" :: rest -> "--stats" :: rewrite rest
     | "-timings" :: rest -> "--timings" :: rewrite rest
     | "-json" :: rest -> "--json" :: rewrite rest

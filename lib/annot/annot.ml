@@ -118,6 +118,9 @@ type word =
   | Wignore  (** suppression pragma: start/whole-line *)
   | Wend  (** suppression pragma: end of ignore region *)
   | Wiline  (** [i] — suppress messages on this line *)
+  | Winferred
+      (** provenance marker written by interface-library dumps: the
+          surrounding annotations were synthesized by inference *)
   | Wunknown of string
 
 let word_of_string = function
@@ -150,6 +153,7 @@ let word_of_string = function
   | "ignore" -> Wignore
   | "end" -> Wend
   | "i" -> Wiline
+  | "inferred" -> Winferred
   | s -> Wunknown s
 
 let split_words text =
@@ -212,6 +216,7 @@ let of_annots (annots : Cfront.Ast.annot list) : set * parse_error list =
           | Wnewref -> result := { !result with an_newref = true }
           | Wkillref -> result := { !result with an_killref = true }
           | Wtempref -> result := { !result with an_tempref = true }
+          | Winferred -> result := mark_inferred !result
           | Wignore | Wend | Wiline ->
               err a.a_loc
                 "suppression comment '%s' used in qualifier position" w

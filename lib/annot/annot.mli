@@ -90,6 +90,7 @@ type word =
   | Wignore
   | Wend
   | Wiline
+  | Winferred
   | Wunknown of string
 
 val word_of_string : string -> word

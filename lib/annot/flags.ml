@@ -178,6 +178,36 @@ let apply_all (f : t) (ss : string list) : (t, flag_error) result =
     (fun acc s -> match acc with Ok f -> apply f s | e -> e)
     (Ok f) ss
 
+(** Canonical rendering of a flag record for cache keys: every field,
+    spelled as its flag name, in a fixed order.  Two flag sets reached by
+    different command lines ([+gc -gc] vs nothing) render identically, so
+    summary-cache keys depend on the checking semantics only. *)
+let canonical (f : t) =
+  let b name v = Printf.sprintf "%c%s" (if v then '+' else '-') name in
+  String.concat " "
+    [
+      b "imponlyreturns" f.implicit_only_returns;
+      b "imponlyglobals" f.implicit_only_globals;
+      b "imponlyfields" f.implicit_only_fields;
+      b "imptempparams" f.implicit_temp_params;
+      b "impoutparams" f.implicit_out_params;
+      b "gc" f.gc_mode;
+      b "indeparrays" f.indep_array_elements;
+      b "null" f.check_null;
+      b "def" f.check_def;
+      b "alloc" f.check_alloc;
+      b "alias" f.check_alias;
+      b "usereleased" f.check_use_released;
+      b "freeoffset" f.free_offset;
+      b "freestatic" f.free_static;
+      b "annotwarn" f.warn_unrecognized_annot;
+      b "guards" f.guard_refinement;
+      b "aliastrack" f.alias_tracking;
+      b "inferconstraints" f.infer_constraints;
+      b "loopexec" f.loop_exec;
+      Printf.sprintf "loopiter=%d" f.loop_iter;
+    ]
+
 let flag_names =
   [
     "allimponly"; "imponlyreturns"; "imponlyglobals"; "imponlyfields";

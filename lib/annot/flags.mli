@@ -53,6 +53,12 @@ val apply : t -> string -> (t, flag_error) result
 
 val apply_all : t -> string list -> (t, flag_error) result
 
+val canonical : t -> string
+(** Canonical one-line rendering of a flag record (every field in a
+    fixed order).  Equal flag records render identically regardless of
+    the command line that produced them; the incremental summary cache
+    uses this as the flag component of its keys. *)
+
 val flag_names : string list
 (** Every recognized flag name. *)
 

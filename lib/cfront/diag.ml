@@ -113,6 +113,58 @@ let to_json ?(suppressed = false) d =
                d.notes) );
       ])
 
+(** Faithful inverse of {!to_json}, used by the incremental service to
+    persist per-function summaries.  The derived fields ([category],
+    [suppressed]) are ignored on input — they are recomputed. *)
+let of_json j =
+  let module J = Telemetry.Json in
+  let ( let* ) r f = Result.bind r f in
+  let str k o =
+    match Option.bind (J.member k o) J.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "diagnostic record: missing %S" k)
+  in
+  let int k o =
+    match Option.bind (J.member k o) J.to_int_opt with
+    | Some n -> Ok n
+    | None -> Error (Printf.sprintf "diagnostic record: missing %S" k)
+  in
+  let loc_of o =
+    let* file = str "file" o in
+    let* line = int "line" o in
+    let* col = int "column" o in
+    Ok { Loc.file; line; col }
+  in
+  let* loc = loc_of j in
+  let* sev =
+    match str "severity" j with
+    | Ok "error" -> Ok Err
+    | Ok "warning" -> Ok Warn
+    | Ok "info" -> Ok Info
+    | Ok s -> Error (Printf.sprintf "diagnostic record: bad severity %S" s)
+    | Error _ as e -> e
+  in
+  let* code = str "code" j in
+  let* text = str "message" j in
+  let proc = Option.bind (J.member "procedure" j) J.to_string_opt in
+  let inferred =
+    match J.member "inferred" j with Some (J.Bool b) -> b | _ -> false
+  in
+  let* notes =
+    match J.member "notes" j with
+    | Some (J.List ns) ->
+        List.fold_left
+          (fun acc n ->
+            let* acc = acc in
+            let* nloc = loc_of n in
+            let* ntext = str "message" n in
+            Ok ({ nloc; ntext } :: acc))
+          (Ok []) ns
+        |> Result.map List.rev
+    | _ -> Ok []
+  in
+  Ok { loc; severity = sev; code; text; notes; proc; inferred }
+
 (** Render one diagnostic in the paper's style. *)
 let pp ppf d =
   Fmt.pf ppf "%a: %s" Loc.pp d.loc d.text;

@@ -50,6 +50,11 @@ val category_of_code : string -> string
 val category : t -> string
 
 val to_json : ?suppressed:bool -> t -> Telemetry.Json.t
+
+val of_json : Telemetry.Json.t -> (t, string) result
+(** Faithful inverse of {!to_json} (the derived [category]/[suppressed]
+    fields are ignored); the incremental summary cache uses this to
+    restore persisted per-function diagnostics. *)
 (** The machine-readable record emitted by [olclint -json]: an object
     with [file]/[line]/[column]/[severity]/[category]/[code]/[message]/
     [suppressed]/[inferred]/[notes] fields, plus [procedure] when the

@@ -57,10 +57,77 @@ let rec decl_string (name : string) (ty : Ctype.t) : string =
       if name = "" then b else Printf.sprintf "%s %s" b name
 
 let annots_prefix (set : Annot.set) : string =
-  match Annot.to_words set with
+  (* [inferred] is a provenance marker, not an Appendix B word: [to_words]
+     never renders it, but a dumped library must carry it so a later
+     [-load-lib] distinguishes declared from synthesized interfaces. *)
+  let words =
+    Annot.to_words set @ if Annot.is_inferred set then [ "inferred" ] else []
+  in
+  match words with
   | [] -> ""
   | words ->
       String.concat "" (List.map (fun w -> Printf.sprintf "/*@%s@*/ " w) words)
+
+(* ------------------------------------------------------------------ *)
+(* Versioned, hash-stamped persistence                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* On-disk artifacts (interface libraries, the incremental service's
+   summary caches) share one framing: a kind+version line followed by a
+   content stamp over the payload.  A reader rejects artifacts of the
+   wrong kind or version and artifacts whose payload does not digest to
+   the stamp, so a stale or truncated cache can never silently corrupt a
+   run. *)
+
+let library_kind = "interface-library"
+let library_version = 1
+
+let stamp ~kind ~version payload =
+  Printf.sprintf "/* olclint %s format %d */\n/* stamp %s */\n%s" kind version
+    (Digest.to_hex (Digest.string payload))
+    payload
+
+(* Split the first two lines off a stamped artifact. *)
+let split2 text =
+  match String.index_opt text '\n' with
+  | None -> None
+  | Some i -> (
+      let line1 = String.sub text 0 i in
+      let rest = String.sub text (i + 1) (String.length text - i - 1) in
+      match String.index_opt rest '\n' with
+      | None -> None
+      | Some j ->
+          let line2 = String.sub rest 0 j in
+          let payload = String.sub rest (j + 1) (String.length rest - j - 1) in
+          Some (line1, line2, payload))
+
+let unstamp ~kind text : (int * string, string) result =
+  match split2 text with
+  | None -> Error "truncated stamped artifact"
+  | Some (line1, line2, payload) -> (
+      let version =
+        try
+          Scanf.sscanf line1 "/* olclint %s@ format %d */" (fun k v ->
+              if String.equal k kind then Some v else None)
+        with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+      in
+      match version with
+      | None -> Error (Printf.sprintf "not an olclint %s artifact" kind)
+      | Some v -> (
+          let hex =
+            try
+              Scanf.sscanf line2 "/* stamp %s@ */" (fun h -> Some (String.trim h))
+            with Scanf.Scan_failure _ | Failure _ | End_of_file -> None
+          in
+          match hex with
+          | None -> Error "missing stamp line"
+          | Some hex ->
+              if String.equal hex (Digest.to_hex (Digest.string payload)) then
+                Ok (v, payload)
+              else Error "stamp mismatch (artifact corrupted or truncated)"))
+
+let is_stamped text =
+  String.length text >= 10 && String.sub text 0 10 = "/* olclint"
 
 (** Render the public interface of [prog] as an annotated header. *)
 let save (prog : Sema.program) : string =
@@ -143,10 +210,25 @@ let save (prog : Sema.program) : string =
             globals modifies
       | _ -> ())
     (Sema.func_order prog);
-  Buffer.contents buf
+  stamp ~kind:library_kind ~version:library_version (Buffer.contents buf)
 
 (** Load an interface library (produced by {!save} or hand-written) into a
-    program environment. *)
+    program environment.  Stamped artifacts are verified (kind, version,
+    content hash) before parsing; raw annotated headers still load as
+    before, so hand-written libraries keep working. *)
 let load ?(flags = Annot.Flags.default) ?into ~file (text : string) :
     Sema.program =
+  let loc = { Cfront.Loc.file; line = 1; col = 1 } in
+  let text =
+    if is_stamped text then
+      match unstamp ~kind:library_kind text with
+      | Ok (v, payload) when v = library_version -> payload
+      | Ok (v, _) ->
+          Cfront.Diag.fatal ~loc ~code:"lib"
+            "interface library has format version %d, this build reads %d" v
+            library_version
+      | Error msg ->
+          Cfront.Diag.fatal ~loc ~code:"lib" "bad interface library: %s" msg
+    else text
+  in
   Sema.analyze_string ~flags ?into ~file text

@@ -12,13 +12,40 @@ val decl_string : string -> Sema.Ctype.t -> string
     type [ty] (inside-out declarator syntax). *)
 
 val annots_prefix : Annot.set -> string
-(** The [/*@...@*/] qualifier prefix for an annotation set. *)
+(** The [/*@...@*/] qualifier prefix for an annotation set.  Renders the
+    inference-provenance bit as the extension word [inferred] (which
+    {!Annot.of_annots} parses back), so dumped libraries round-trip
+    synthesized interfaces faithfully. *)
+
+(** {1 Versioned, hash-stamped persistence}
+
+    Every on-disk artifact — interface libraries here, the incremental
+    service's summary caches in [Incr] — is framed the same way: a
+    [/* olclint <kind> format <version> */] line, a [/* stamp <md5> */]
+    line over the payload, then the payload.  Readers reject wrong
+    kinds, wrong versions and corrupted payloads. *)
+
+val library_kind : string
+val library_version : int
+
+val stamp : kind:string -> version:int -> string -> string
+(** Frame a payload with the kind/version header and content stamp. *)
+
+val unstamp : kind:string -> string -> (int * string, string) result
+(** Parse and verify a stamped artifact; [Ok (version, payload)] only
+    when the kind matches and the payload digests to the stamp. *)
+
+val is_stamped : string -> bool
+(** Whether the text begins with a stamped-artifact header (as opposed
+    to a raw hand-written annotated header). *)
 
 val save : Sema.program -> string
-(** Render the public interface (static definitions are omitted). *)
+(** Render the public interface (static definitions are omitted) as a
+    stamped artifact of kind {!library_kind}. *)
 
 val load :
   ?flags:Annot.Flags.t -> ?into:Sema.program -> file:string -> string ->
   Sema.program
 (** Parse a library (produced by {!save} or hand-written) into a fresh or
-    existing program environment. *)
+    existing program environment.  Stamped artifacts are verified first;
+    a version or stamp mismatch raises {!Cfront.Diag.Fatal}. *)

@@ -1,0 +1,755 @@
+(** The incremental checking service (see incr.mli for the contract).
+
+    Cache structure:
+
+    - [files]: per-file parse artifacts — the source text, its digest,
+      the typedef-name snapshot it was parsed under, and the AST.  A
+      request's changed set is found by comparing texts (memcmp), so the
+      warm path never re-hashes unchanged sources.
+    - [fns]: per-function summaries keyed by (defining file, name).  An
+      entry pins the checked AST object, the funsig hash of the function
+      and of each direct callee, the type-environment hash and the
+      canonical flag string; it is valid while all of those still hold.
+    - [persisted]: content-key → diagnostics, loaded from a {!save}d
+      artifact; a miss whose full content key is present here adopts the
+      stored diagnostics instead of re-checking.
+
+    Update tiers, cheapest first:
+
+    - {e Clean}: no text changed — answer from cache.
+    - {e Patched}: every changed file kept all its interfaces
+      structurally identical (declarations and function headers equal
+      including locations; only bodies differ).  The new bodies are
+      patched into the persistent environment with {!Sema.patch_fundef};
+      unchanged functions keep their entries by generation, dirty ones
+      are dropped and re-checked.  No re-parse of unchanged files, no
+      re-sema of anything.
+    - {e Rebuilt}: an interface, the file list or the flag set changed.
+      The environment is rebuilt (unchanged files reuse cached ASTs so
+      only changed files re-parse) and every function revalidates
+      against the new funsig/type-env hashes — a funsig edit therefore
+      re-checks exactly the edited function and the functions that call
+      it.
+
+    Checking always runs against {!Sema.copy_for_check} copies on the
+    {!Parcheck.map_tasks} pool, grouped by file, so results are
+    byte-identical to a cold [olclint] run at every [-j]. *)
+
+module Ast = Cfront.Ast
+module Diag = Cfront.Diag
+module Loc = Cfront.Loc
+module Flags = Annot.Flags
+module J = Telemetry.Json
+
+type doc = { doc_name : string; doc_text : string }
+
+let doc_of_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      { doc_name = path; doc_text = really_input_string ic (in_channel_length ic) })
+
+type fn_entry = {
+  mutable fn_fd : Ast.fundef;  (** the AST object the summary is for *)
+  fn_sig_hash : string;
+  fn_callees : (string * string) list;  (** direct callee → funsig hash *)
+  fn_flags_canon : string;
+  fn_typeenv_hash : string;
+  fn_diags : Diag.t list;  (** raw checker output, unsorted, unsuppressed *)
+  mutable fn_gen : int;  (** generation of the last validation *)
+}
+
+type file_entry = {
+  fe_text : string;
+  fe_digest : string;  (** hex digest of [fe_text] *)
+  fe_typedefs : string list;  (** typedef names in scope at parse time *)
+  fe_ast : Ast.tunit;
+}
+
+type t = {
+  base_flags : Flags.t;
+  no_stdlib : bool;
+  libs : (string * string) list;
+  specs : (string * string) list;
+  mutable flags : Flags.t;
+  mutable flags_canon : string;
+  mutable env : Sema.program option;
+  mutable base_pragmas : Ast.annot list;
+      (** pragmas contributed by libraries/specs, before any document *)
+  mutable doc_order : string list;
+  files : (string, file_entry) Hashtbl.t;
+  fns : (string * string, fn_entry) Hashtbl.t;
+  mutable sig_hashes : (string, string) Hashtbl.t;
+  mutable typeenv_hash : string;
+  mutable gen : int;
+  persisted : (string, string * string * Diag.t list) Hashtbl.t;
+      (** content key → (file, fn, diagnostics) *)
+  mutable n_hits : int;
+  mutable n_misses : int;
+  mutable n_invalidated : int;
+  mutable n_rechecked : int;
+}
+
+let create ?(flags = Flags.default) ?(no_stdlib = false) ?(load_libs = [])
+    ?(lcl_specs = []) () =
+  {
+    base_flags = flags;
+    no_stdlib;
+    libs = load_libs;
+    specs = lcl_specs;
+    flags;
+    flags_canon = Flags.canonical flags;
+    env = None;
+    base_pragmas = [];
+    doc_order = [];
+    files = Hashtbl.create 64;
+    fns = Hashtbl.create 256;
+    sig_hashes = Hashtbl.create 256;
+    typeenv_hash = "";
+    gen = 0;
+    persisted = Hashtbl.create 64;
+    n_hits = 0;
+    n_misses = 0;
+    n_invalidated = 0;
+    n_rechecked = 0;
+  }
+
+type tier = Cold | Clean | Patched | Rebuilt
+
+let tier_name = function
+  | Cold -> "cold"
+  | Clean -> "clean"
+  | Patched -> "patched"
+  | Rebuilt -> "rebuilt"
+
+type outcome = {
+  oc_tier : tier;
+  oc_kept : Diag.t list;
+  oc_suppressed : Diag.t list;
+  oc_functions : int;
+  oc_hits : int;
+  oc_misses : int;
+  oc_rechecked : int;
+  oc_invalidated : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Fingerprints                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let hex s = Digest.to_hex (Digest.string s)
+
+(* The funsig hash covers the full derived signature — name, resolved
+   types, annotations (provenance bits included), globals/modifies
+   lists, linkage and the declaration location.  Including the location
+   keeps cached note lines honest: a callee whose declaration moved
+   conservatively invalidates its callers. *)
+let funsig_hash (fs : Sema.funsig) = hex (Sema.show_funsig fs)
+
+(* Everything a body check can read besides funsigs: struct layouts,
+   typedef expansions and annotations, global variables, enum constants. *)
+let typeenv_fingerprint (env : Sema.program) =
+  let b = Buffer.create 8192 in
+  List.iter
+    (fun tag ->
+      match Hashtbl.find_opt env.Sema.p_structs tag with
+      | Some su -> Buffer.add_string b (Sema.show_suinfo su)
+      | None -> ())
+    (Sema.struct_order env);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt env.Sema.p_typedefs name with
+      | Some (ty, set) ->
+          Buffer.add_string b name;
+          Buffer.add_string b (Sema.Ctype.show ty);
+          Buffer.add_string b (Annot.show_set set)
+      | None -> ())
+    (Sema.typedef_order env);
+  List.iter
+    (fun name ->
+      match Hashtbl.find_opt env.Sema.p_globals name with
+      | Some gv -> Buffer.add_string b (Sema.show_globalvar gv)
+      | None -> ())
+    (Sema.global_order env);
+  let enums =
+    Hashtbl.fold (fun k v acc -> (k, v) :: acc) env.Sema.p_enum_consts []
+    |> List.sort compare
+  in
+  List.iter
+    (fun (k, v) -> Buffer.add_string b (Printf.sprintf "%s=%Ld;" k v))
+    enums;
+  hex (Buffer.contents b)
+
+let callee_hash t name =
+  match Hashtbl.find_opt t.sig_hashes name with Some h -> h | None -> "?"
+
+let cache_kind = "summary-cache"
+let cache_version = 1
+
+(* The full content key of one function result — the on-disk identity.
+   It covers every input the checker reads for this function: the cache
+   format itself, the flag set, the type environment, the function's own
+   signature, its callees' signatures, and the exact body (the AST
+   printed with locations, so even a pure reformat that moves lines gets
+   a fresh key — diagnostics carry line numbers). *)
+let full_key t (fs : Sema.funsig) (fd : Ast.fundef) =
+  let b = Buffer.create 512 in
+  Buffer.add_string b (string_of_int cache_version);
+  Buffer.add_char b '\n';
+  Buffer.add_string b t.flags_canon;
+  Buffer.add_char b '\n';
+  Buffer.add_string b t.typeenv_hash;
+  Buffer.add_char b '\n';
+  Buffer.add_string b (funsig_hash fs);
+  Buffer.add_char b '\n';
+  List.iter
+    (fun c ->
+      Buffer.add_string b c;
+      Buffer.add_char b '=';
+      Buffer.add_string b (callee_hash t c);
+      Buffer.add_char b ';')
+    (Sema.calls_of_fundef fd);
+  Buffer.add_char b '\n';
+  Buffer.add_string b (hex (Ast.show_fundef fd));
+  hex (Buffer.contents b)
+
+(* ------------------------------------------------------------------ *)
+(* Structural interface comparison (the Patched-tier gate)             *)
+(* ------------------------------------------------------------------ *)
+
+let skip_body =
+  { Ast.s = Ast.Sskip; Ast.sloc = { Loc.file = ""; line = 0; col = 0 } }
+
+(* True when the two units declare the same interfaces at the same
+   locations — every topdecl structurally equal except that function
+   bodies may differ.  Location-inclusive on purpose: a body edit that
+   shifts later lines makes the later functions compare unequal here?
+   No — this compares interfaces only; shifted function *headers* make
+   their [f_loc]s differ, so a line-count-changing edit falls through to
+   the per-function body check below, which treats shifted functions as
+   dirty (their cached diagnostics would carry stale line numbers). *)
+let body_only_change (old_tu : Ast.tunit) (new_tu : Ast.tunit) =
+  List.length old_tu.Ast.tu_decls = List.length new_tu.Ast.tu_decls
+  && List.for_all2
+       (fun od nd ->
+         match (od, nd) with
+         | Ast.Tfundef a, Ast.Tfundef b ->
+             Ast.equal_fundef
+               { a with Ast.f_body = skip_body }
+               { b with Ast.f_body = skip_body }
+         | _ -> Ast.equal_topdecl od nd)
+       old_tu.Ast.tu_decls new_tu.Ast.tu_decls
+
+(* ------------------------------------------------------------------ *)
+(* Environment (re)construction                                        *)
+(* ------------------------------------------------------------------ *)
+
+let typedef_snapshot (env : Sema.program) = Sema.typedef_order env
+
+(* Build a complete environment for [docs], reusing cached ASTs for
+   files whose text and typedef scope are unchanged.  Raises
+   [Diag.Fatal] on frontend errors — the caller commits no state until
+   this returns. *)
+let build_env t ~flags docs =
+  let env =
+    if t.no_stdlib then Sema.create_program ~flags ~file:"<none>" ()
+    else Stdspec.environment ~flags ()
+  in
+  List.iter
+    (fun (name, text) ->
+      ignore (Check.Libspec.load ~flags ~into:env ~file:name text))
+    t.libs;
+  List.iter
+    (fun (name, text) ->
+      ignore (Sema.analyze_spec_string ~flags ~into:env ~file:name text))
+    t.specs;
+  let base_pragmas = env.Sema.p_pragmas in
+  let new_files = Hashtbl.create (List.length docs * 2) in
+  List.iter
+    (fun d ->
+      let tdefs = typedef_snapshot env in
+      let ast =
+        match Hashtbl.find_opt t.files d.doc_name with
+        | Some fe
+          when String.equal fe.fe_text d.doc_text && fe.fe_typedefs = tdefs ->
+            fe.fe_ast
+        | _ ->
+            Cfront.Parser.parse_string ~typedefs:tdefs ~file:d.doc_name
+              d.doc_text
+      in
+      ignore (Sema.analyze ~flags ~into:env ast);
+      Hashtbl.replace new_files d.doc_name
+        {
+          fe_text = d.doc_text;
+          fe_digest = hex d.doc_text;
+          fe_typedefs = tdefs;
+          fe_ast = ast;
+        })
+    docs;
+  (env, base_pragmas, new_files)
+
+let commit_env t ~flags ~canon env base_pragmas new_files docs =
+  t.env <- Some env;
+  t.flags <- flags;
+  t.flags_canon <- canon;
+  t.base_pragmas <- base_pragmas;
+  t.doc_order <- List.map (fun d -> d.doc_name) docs;
+  Hashtbl.reset t.files;
+  Hashtbl.iter (Hashtbl.replace t.files) new_files;
+  let sigs = Hashtbl.create (Hashtbl.length env.Sema.p_funcs * 2) in
+  Hashtbl.iter
+    (fun name fs -> Hashtbl.replace sigs name (funsig_hash fs))
+    env.Sema.p_funcs;
+  t.sig_hashes <- sigs;
+  t.typeenv_hash <- typeenv_fingerprint env;
+  t.gen <- t.gen + 1
+
+(* ------------------------------------------------------------------ *)
+(* Validation and re-checking                                          *)
+(* ------------------------------------------------------------------ *)
+
+let fn_id (fs : Sema.funsig) = (fs.Sema.fs_loc.Loc.file, fs.Sema.fs_name)
+
+let entry_valid t (e : fn_entry) (fs : Sema.funsig) (fd : Ast.fundef) =
+  (e.fn_fd == fd || Ast.equal_fundef e.fn_fd fd)
+  && String.equal e.fn_flags_canon t.flags_canon
+  && String.equal e.fn_typeenv_hash t.typeenv_hash
+  && (match Hashtbl.find_opt t.sig_hashes fs.Sema.fs_name with
+     | Some h -> String.equal h e.fn_sig_hash
+     | None -> false)
+  && List.for_all
+       (fun (c, h) -> String.equal h (callee_hash t c))
+       e.fn_callees
+
+let make_entry t (fs : Sema.funsig) (fd : Ast.fundef) diags =
+  {
+    fn_fd = fd;
+    fn_sig_hash =
+      (match Hashtbl.find_opt t.sig_hashes fs.Sema.fs_name with
+      | Some h -> h
+      | None -> funsig_hash fs);
+    fn_callees =
+      List.map (fun c -> (c, callee_hash t c)) (Sema.calls_of_fundef fd);
+    fn_flags_canon = t.flags_canon;
+    fn_typeenv_hash = t.typeenv_hash;
+    fn_diags = diags;
+    fn_gen = t.gen;
+  }
+
+(* Validate every function of the environment against the cache; adopt
+   persisted results by content key; re-check the rest on the checking
+   pool, grouped by file exactly like the cold driver.  Returns
+   (hits, misses, rechecked). *)
+let revalidate_and_check t ~jobs (env : Sema.program) =
+  let pairs = Sema.fundefs env in
+  let hits = ref 0 and misses = ref 0 in
+  let miss_list =
+    List.filter_map
+      (fun ((fs : Sema.funsig), fd) ->
+        let id = fn_id fs in
+        match Hashtbl.find_opt t.fns id with
+        | Some e when e.fn_gen = t.gen ->
+            incr hits;
+            None
+        | Some e when entry_valid t e fs fd ->
+            e.fn_gen <- t.gen;
+            e.fn_fd <- fd;
+            incr hits;
+            None
+        | _ ->
+            incr misses;
+            Some (id, fs, fd))
+      pairs
+  in
+  (* a miss whose content key is in the persisted cache adopts the
+     stored result — a restarted service warms up without re-checking *)
+  let to_check =
+    if Hashtbl.length t.persisted = 0 then miss_list
+    else
+      List.filter_map
+        (fun ((id, fs, fd) as m) ->
+          match Hashtbl.find_opt t.persisted (full_key t fs fd) with
+          | Some (_, _, diags) ->
+              Hashtbl.replace t.fns id (make_entry t fs fd diags);
+              incr hits;
+              decr misses;
+              None
+          | None -> Some m)
+        miss_list
+  in
+  (* group by file, preserving definition order, like [Parcheck] *)
+  let tbl = Hashtbl.create 16 in
+  let order = ref [] in
+  List.iter
+    (fun (id, fs, fd) ->
+      let file = fst id in
+      match Hashtbl.find_opt tbl file with
+      | Some cell -> cell := (id, fs, fd) :: !cell
+      | None ->
+          Hashtbl.add tbl file (ref [ (id, fs, fd) ]);
+          order := file :: !order)
+    to_check;
+  let garr =
+    Array.of_list
+      (List.rev_map (fun file -> List.rev !(Hashtbl.find tbl file)) !order)
+  in
+  let results =
+    Parcheck.map_tasks ~jobs (Array.length garr) (fun ~par:_ i ->
+        (* always check against a copy: the persistent environment must
+           stay pristine across requests (checking can register
+           block-scope declarations), and per-task copies are exactly
+           the cold driver's [-j] mode, which is byte-identical to
+           in-place checking *)
+        let local = Sema.copy_for_check env in
+        List.map
+          (fun (_, fs, fd) ->
+            let coll = Diag.Collector.create () in
+            Check.Checker.check_fundef ~diags:coll local fs fd;
+            Diag.Collector.all coll)
+          garr.(i))
+  in
+  let rechecked = ref 0 in
+  Array.iteri
+    (fun i diag_lists ->
+      List.iter2
+        (fun (id, fs, fd) diags ->
+          incr rechecked;
+          Hashtbl.replace t.fns id (make_entry t fs fd diags))
+        garr.(i) diag_lists)
+    results;
+  (!hits, !misses, !rechecked)
+
+(* Assemble the request's diagnostics exactly like the cold CLI:
+   frontend/sema messages, suppression-table errors, then the cached
+   per-function results, sorted into canonical emission order and split
+   by the suppression table. *)
+let assemble t (env : Sema.program) =
+  let frontend = Diag.Collector.all env.Sema.diags in
+  let table, errs = Check.Suppress.of_pragmas env.Sema.p_pragmas in
+  let checkd =
+    List.concat_map
+      (fun ((fs : Sema.funsig), _) ->
+        match Hashtbl.find_opt t.fns (fn_id fs) with
+        | Some e -> e.fn_diags
+        | None -> [])
+      (Sema.fundefs env)
+  in
+  let all = Diag.Collector.sort_emission (frontend @ errs @ checkd) in
+  Check.Suppress.filter table all
+
+(* ------------------------------------------------------------------ *)
+(* The check request                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let rebuild_pragmas t =
+  t.base_pragmas
+  @ List.concat_map
+      (fun name ->
+        match Hashtbl.find_opt t.files name with
+        | Some fe -> fe.fe_ast.Ast.tu_pragmas
+        | None -> [])
+      t.doc_order
+
+(* Decide how to bring the environment up to date with [docs]; returns
+   the tier.  Raises [Diag.Fatal] before committing any state. *)
+let update t ~flags ~canon docs =
+  let structure_changed =
+    t.env = None
+    || (not (String.equal canon t.flags_canon))
+    || List.map (fun d -> d.doc_name) docs <> t.doc_order
+  in
+  if structure_changed then begin
+    let was_cold = t.env = None in
+    let env, base_pragmas, new_files = build_env t ~flags docs in
+    commit_env t ~flags ~canon env base_pragmas new_files docs;
+    if was_cold then Cold else Rebuilt
+  end
+  else begin
+    let changed =
+      List.filter
+        (fun d ->
+          match Hashtbl.find_opt t.files d.doc_name with
+          | Some fe -> not (String.equal fe.fe_text d.doc_text)
+          | None -> true)
+        docs
+    in
+    if changed = [] then Clean
+    else begin
+      (* parse every changed file under its recorded typedef scope and
+         test for body-only change; any interface difference (or a
+         brand-new file) forces a rebuild *)
+      let parsed =
+        List.map
+          (fun d ->
+            match Hashtbl.find_opt t.files d.doc_name with
+            | None -> (d, None)
+            | Some fe ->
+                let tu =
+                  Cfront.Parser.parse_string ~typedefs:fe.fe_typedefs
+                    ~file:d.doc_name d.doc_text
+                in
+                (d, Some (fe, tu)))
+          changed
+      in
+      let patchable =
+        List.for_all
+          (function
+            | _, Some (fe, tu) -> body_only_change fe.fe_ast tu
+            | _, None -> false)
+          parsed
+      in
+      if not patchable then begin
+        let env, base_pragmas, new_files = build_env t ~flags docs in
+        commit_env t ~flags ~canon env base_pragmas new_files docs;
+        Rebuilt
+      end
+      else begin
+        let env = Option.get t.env in
+        List.iter
+          (fun (d, p) ->
+            let fe, tu = Option.get p in
+            List.iter2
+              (fun od nd ->
+                match (od, nd) with
+                | Ast.Tfundef ofd, Ast.Tfundef nfd
+                  when not (Ast.equal_fundef ofd nfd) ->
+                    (* dirty body: swap the AST in place, drop the entry *)
+                    ignore (Sema.patch_fundef env nfd);
+                    let id = (d.doc_name, nfd.Ast.f_name) in
+                    if Hashtbl.mem t.fns id then begin
+                      Hashtbl.remove t.fns id;
+                      t.n_invalidated <- t.n_invalidated + 1;
+                      Telemetry.Counter.tick Telemetry.c_incr_invalidations
+                    end
+                | _ -> ())
+              fe.fe_ast.Ast.tu_decls tu.Ast.tu_decls;
+            Hashtbl.replace t.files d.doc_name
+              {
+                fe_text = d.doc_text;
+                fe_digest = hex d.doc_text;
+                fe_typedefs = fe.fe_typedefs;
+                fe_ast = tu;
+              })
+          parsed;
+        (* suppression comments live in the per-file pragma lists; a
+           body edit may have changed them *)
+        env.Sema.p_pragmas <- rebuild_pragmas t;
+        Patched
+      end
+    end
+  end
+
+let check ?(jobs = 1) ?(flag_args = []) t docs =
+  match Flags.apply_all t.base_flags flag_args with
+  | Error (Flags.Unknown_flag name) ->
+      Error
+        (Diag.make
+           ~loc:{ Loc.file = "<request>"; line = 1; col = 1 }
+           ~code:"flag"
+           (Printf.sprintf "unknown flag '%s'" name))
+  | Ok flags -> (
+      let canon = Flags.canonical flags in
+      match update t ~flags ~canon docs with
+      | exception Diag.Fatal d -> Error d
+      | tier ->
+          let env = Option.get t.env in
+          let hits, misses, rechecked =
+            match tier with
+            | Clean ->
+                (* nothing to validate: every entry is current *)
+                (List.length (Sema.fundefs env), 0, 0)
+            | _ -> revalidate_and_check t ~jobs env
+          in
+          t.n_hits <- t.n_hits + hits;
+          t.n_misses <- t.n_misses + misses;
+          t.n_rechecked <- t.n_rechecked + rechecked;
+          Telemetry.Counter.add Telemetry.c_incr_hits hits;
+          Telemetry.Counter.add Telemetry.c_incr_misses misses;
+          Telemetry.Counter.add Telemetry.c_incr_rechecked rechecked;
+          let kept, suppressed = assemble t env in
+          Ok
+            {
+              oc_tier = tier;
+              oc_kept = kept;
+              oc_suppressed = suppressed;
+              oc_functions = List.length (Sema.fundefs env);
+              oc_hits = hits;
+              oc_misses = misses;
+              oc_rechecked = rechecked;
+              oc_invalidated = t.n_invalidated;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Invalidation                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let invalidate t files =
+  let dropped = ref 0 in
+  (match files with
+  | None ->
+      dropped := Hashtbl.length t.fns;
+      Hashtbl.reset t.fns;
+      Hashtbl.reset t.files;
+      Hashtbl.reset t.persisted;
+      t.env <- None;
+      t.doc_order <- []
+  | Some names ->
+      List.iter
+        (fun name ->
+          Hashtbl.remove t.files name;
+          let victims =
+            Hashtbl.fold
+              (fun ((f, _) as id) _ acc ->
+                if String.equal f name then id :: acc else acc)
+              t.fns []
+          in
+          List.iter (Hashtbl.remove t.fns) victims;
+          dropped := !dropped + List.length victims;
+          let pvictims =
+            Hashtbl.fold
+              (fun key (f, _, _) acc ->
+                if String.equal f name then key :: acc else acc)
+              t.persisted []
+          in
+          List.iter (Hashtbl.remove t.persisted) pvictims)
+        names);
+  t.n_invalidated <- t.n_invalidated + !dropped;
+  Telemetry.Counter.add Telemetry.c_incr_invalidations !dropped;
+  !dropped
+
+(* ------------------------------------------------------------------ *)
+(* Statistics                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let stats t =
+  [
+    ("entries", Hashtbl.length t.fns);
+    ("files", Hashtbl.length t.files);
+    ( "functions",
+      match t.env with Some e -> List.length (Sema.fundefs e) | None -> 0 );
+    ("generation", t.gen);
+    ("incr_hits", t.n_hits);
+    ("incr_invalidations", t.n_invalidated);
+    ("incr_misses", t.n_misses);
+    ("incr_rechecked", t.n_rechecked);
+    ("persisted", Hashtbl.length t.persisted);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let summaries_marker = "[summaries]"
+
+let save t =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b ("flags " ^ t.flags_canon ^ "\n");
+  (match t.env with
+  | Some env ->
+      (* the interface section IS an interface library: the same
+         stamped artifact [-dump-lib] writes, loadable with
+         {!Check.Libspec.load} *)
+      Buffer.add_string b (Check.Libspec.save env)
+  | None -> ());
+  Buffer.add_string b (summaries_marker ^ "\n");
+  let record key file fn diags =
+    Buffer.add_string b
+      (J.to_string
+         (J.Obj
+            [
+              ("key", J.String key);
+              ("file", J.String file);
+              ("fn", J.String fn);
+              ("diags", J.List (List.map Diag.to_json diags));
+            ]));
+    Buffer.add_char b '\n'
+  in
+  (* live entries first (recomputing their content keys), then any
+     still-unsuperseded adopted records: caches accumulate *)
+  let written = Hashtbl.create 256 in
+  (match t.env with
+  | Some env ->
+      List.iter
+        (fun ((fs : Sema.funsig), fd) ->
+          match Hashtbl.find_opt t.fns (fn_id fs) with
+          | Some e when e.fn_gen = t.gen ->
+              let key = full_key t fs fd in
+              if not (Hashtbl.mem written key) then begin
+                Hashtbl.add written key ();
+                record key (fst (fn_id fs)) fs.Sema.fs_name e.fn_diags
+              end
+          | _ -> ())
+        (Sema.fundefs env)
+  | None -> ());
+  Hashtbl.iter
+    (fun key (file, fn, diags) ->
+      if not (Hashtbl.mem written key) then begin
+        Hashtbl.add written key ();
+        record key file fn diags
+      end)
+    t.persisted;
+  Check.Libspec.stamp ~kind:cache_kind ~version:cache_version
+    (Buffer.contents b)
+
+let load t text =
+  match Check.Libspec.unstamp ~kind:cache_kind text with
+  | Error _ as e -> e
+  | Ok (v, _) when v <> cache_version ->
+      Error
+        (Printf.sprintf "summary cache has format version %d, this build reads %d"
+           v cache_version)
+  | Ok (_, payload) -> (
+      (* summaries follow the [summaries] marker line *)
+      let marker = "\n" ^ summaries_marker ^ "\n" in
+      let rec find i =
+        if i + String.length marker > String.length payload then None
+        else if String.sub payload i (String.length marker) = marker then
+          Some (i + String.length marker)
+        else find (i + 1)
+      in
+      let start =
+        if
+          String.length payload >= String.length (summaries_marker ^ "\n")
+          && String.sub payload 0 (String.length summaries_marker)
+             = summaries_marker
+        then Some (String.length summaries_marker + 1)
+        else find 0
+      in
+      match start with
+      | None -> Error "summary cache has no [summaries] section"
+      | Some start ->
+          let body =
+            String.sub payload start (String.length payload - start)
+          in
+          let n = ref 0 in
+          let err = ref None in
+          List.iter
+            (fun line ->
+              if String.trim line <> "" && !err = None then
+                match J.of_string line with
+                | Error e -> err := Some e
+                | Ok j -> (
+                    let str k = Option.bind (J.member k j) J.to_string_opt in
+                    match (str "key", str "file", str "fn", J.member "diags" j) with
+                    | Some key, Some file, Some fn, Some (J.List ds) -> (
+                        let diags =
+                          List.fold_left
+                            (fun acc d ->
+                              match (acc, Diag.of_json d) with
+                              | Ok acc, Ok d -> Ok (d :: acc)
+                              | Ok _, (Error _ as e) -> e
+                              | (Error _ as e), _ -> e)
+                            (Ok []) ds
+                        in
+                        match diags with
+                        | Ok ds ->
+                            Hashtbl.replace t.persisted key
+                              (file, fn, List.rev ds);
+                            incr n
+                        | Error e -> err := Some e)
+                    | _ -> err := Some "malformed summary record"))
+            (String.split_on_char '\n' body);
+          (match !err with
+          | Some e -> Error e
+          | None -> Ok !n))

@@ -596,6 +596,30 @@ let update_funsig p (fs : funsig) : unit =
         if String.equal old_fs.fs_name fs.fs_name then (fs, f) else (old_fs, f))
       p.p_fundefs_rev
 
+(** Swap the AST paired with an already-analyzed definition for a new
+    fundef whose interface is structurally identical but whose body
+    changed — the incremental service's body-only-edit patch path, which
+    skips re-running {!analyze} entirely.  The caller is responsible for
+    the interface-identity check; this only requires the definition to
+    exist.  Matching is by (definition file, name) so [static] functions
+    of the same name in different files never collide.  Returns [false]
+    when no such definition is known. *)
+let patch_fundef p (f : Ast.fundef) : bool =
+  let hit = ref false in
+  p.p_fundefs_rev <-
+    List.map
+      (fun ((fs : funsig), old_f) ->
+        if
+          String.equal fs.fs_name f.Ast.f_name
+          && String.equal fs.fs_loc.Loc.file f.Ast.f_loc.Loc.file
+        then begin
+          hit := true;
+          (fs, f)
+        end
+        else (fs, old_f))
+      p.p_fundefs_rev;
+  !hit
+
 (* ------------------------------------------------------------------ *)
 (* Direct calls (call-graph support)                                   *)
 (* ------------------------------------------------------------------ *)

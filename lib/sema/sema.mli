@@ -148,6 +148,14 @@ val update_funsig : program -> funsig -> unit
     captured (funsig, fundef) pair.  Annotation inference installs
     synthesized annotations through this, keeping both views coherent. *)
 
+val patch_fundef : program -> Cfront.Ast.fundef -> bool
+(** Swap the AST paired with an already-analyzed definition for a new
+    fundef with a structurally identical interface but a changed body —
+    the incremental service's body-only-edit patch path (no re-analysis;
+    the existing funsig stays).  Matches by (definition file, name);
+    [false] when the definition is unknown.  The caller must have
+    verified interface identity. *)
+
 val calls_of_fundef : Cfront.Ast.fundef -> string list
 (** Names in direct-call position anywhere in the body, first-occurrence
     order (the edge set of {!Infer}'s call graph). *)

@@ -215,6 +215,14 @@ let c_difftest_checks = Counter.make "difftest_reduction_checks"
 let c_loop_fixpoint_iters = Counter.make "loop_fixpoint_iters"
 let c_loop_widenings = Counter.make "loop_widenings"
 let c_loop_bailouts = Counter.make "loop_bailouts"
+let c_incr_hits = Counter.make "incr_hits"
+let c_incr_misses = Counter.make "incr_misses"
+let c_incr_invalidations = Counter.make "incr_invalidations"
+let c_incr_rechecked = Counter.make "incr_rechecked"
+
+let registered_counters () =
+  let names = Array.to_list (Counter.registry_snapshot ()) in
+  List.sort String.compare names
 let diag_counter_prefix = "diag."
 
 let reset () =

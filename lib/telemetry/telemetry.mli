@@ -155,8 +155,31 @@ val c_loop_bailouts : Counter.t
 (** Loops whose fixpoint failed to converge within the [-loopiter]
     bound and fell back to the zero-or-one-times heuristic. *)
 
+val c_incr_hits : Counter.t
+(** Incremental-service summary-cache hits: functions whose cached check
+    result was reused (validated in place or adopted from a persisted
+    cache by key). *)
+
+val c_incr_misses : Counter.t
+(** Incremental-service summary-cache misses: functions whose cached
+    result could not be validated and had to be scheduled for
+    re-checking. *)
+
+val c_incr_invalidations : Counter.t
+(** Cache entries dropped by explicit [invalidate] requests or by a
+    changed source file / flag set. *)
+
+val c_incr_rechecked : Counter.t
+(** Functions actually re-checked by the incremental service (misses
+    that were not satisfied by the persisted key cache). *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
+
+val registered_counters : unit -> string list
+(** Every counter name registered so far (fixed handles and any dynamic
+    names seen), sorted; the doc-drift gate compares this against the
+    counter table in docs/diagnostics.md. *)
 
 (** {1 Reports} *)
 

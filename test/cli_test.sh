@@ -9,6 +9,7 @@ OLCLINT="$1"
 OLCRUN="$2"
 OLDIFF="$3"
 EXAMPLES="${4:-examples}"
+DOCS="${5:-docs}"
 tmp="$(mktemp -d)"
 trap 'rm -rf "$tmp"' EXIT
 
@@ -366,6 +367,62 @@ cmp -s "$tmp/out" "$tmp/out2" || fail "oldiff -f +loopexec must match bare +loop
 "$OLDIFF" -seed 6 -runs 1 +loopexce > "$tmp/out" 2>&1
 [ $? -eq 2 ] || fail "oldiff unknown +loopexce should exit 2"
 expect_contains "$tmp/out" "did you mean 'loopexec'?" "oldiff +loopexce suggestion"
+
+# --- incremental server: -server / -cache -----------------------------------
+check_req="{\"op\":\"check\",\"files\":[\"$EXAMPLES/sample.c\"]}"
+printf '%s\n' \
+  "$check_req" \
+  "$check_req" \
+  '{"op":"frobnicate"}' \
+  '{"op":"stats"}' \
+  '{"op":"shutdown"}' \
+  | "$OLCLINT" -server -cache "$tmp/cache.olc" > "$tmp/srv" 2>&1 \
+  || fail "server session should exit 0"
+[ "$(wc -l < "$tmp/srv")" -eq 5 ] || fail "server should answer one line per request"
+sed -n 1p "$tmp/srv" | grep -q '"tier":"cold"' || fail "first check should be cold"
+sed -n 1p "$tmp/srv" | grep -q '"code":"mustfree"' || fail "server should report the sample.c leak"
+sed -n 2p "$tmp/srv" | grep -q '"tier":"clean"' || fail "repeat check should be clean"
+sed -n 2p "$tmp/srv" | grep -q '"rechecked":0' || fail "repeat check should re-check nothing"
+sed -n 3p "$tmp/srv" | grep -q '"ok":false' || fail "unknown op should answer ok:false and keep serving"
+sed -n 4p "$tmp/srv" | grep -q '"incr_hits":' || fail "stats should carry the incr counters"
+sed -n 5p "$tmp/srv" | grep -q '"op":"shutdown"' || fail "shutdown should be acknowledged"
+# the diagnostics records match -json exactly (same codec, same fields)
+sed -n 1p "$tmp/srv" | grep -qF '"severity":"error","category":"allocation","code":"mustfree"' \
+  || fail "server diagnostics should use the -json record schema"
+
+head -1 "$tmp/cache.olc" | grep -q "olclint summary-cache format" \
+  || fail "-cache should write a stamped summary cache"
+# a restarted server adopts the persisted results: zero re-checks
+printf '%s\n' "$check_req" '{"op":"shutdown"}' \
+  | "$OLCLINT" -server -cache "$tmp/cache.olc" > "$tmp/srv2" 2>&1 \
+  || fail "server restart should exit 0"
+sed -n 1p "$tmp/srv2" | grep -q '"rechecked":0' || fail "restart should adopt the persisted cache"
+sed -n 1p "$tmp/srv2" | grep -q '"code":"mustfree"' || fail "adopted results should carry the diagnostics"
+
+# a corrupted cache is ignored with a warning, not trusted
+sed 's/stamp [0-9a-f]*/stamp 00000000000000000000000000000000/' "$tmp/cache.olc" > "$tmp/cache.bad"
+printf '%s\n' "$check_req" '{"op":"shutdown"}' \
+  | "$OLCLINT" -server -cache "$tmp/cache.bad" > "$tmp/srv3" 2> "$tmp/srverr" \
+  || fail "server with corrupted cache should still run"
+expect_contains "$tmp/srverr" "ignoring cache" "corrupted cache warning"
+sed -n 1p "$tmp/srv3" | grep -q '"tier":"cold"' || fail "corrupted cache must not be adopted"
+
+# --- documentation drift gate ------------------------------------------------
+# every checking flag and every telemetry counter must appear in the
+# docs/diagnostics.md tables -- and the tables must list nothing phantom
+"$OLCLINT" --dump-flags | sort > "$tmp/flags.actual"
+[ -s "$tmp/flags.actual" ] || fail "--dump-flags should print the flag list"
+sed -n '/^## Checking flags/,/^## /p' "$DOCS/diagnostics.md" \
+  | sed -n 's/^| `\([^`]*\)`.*/\1/p' | sed 's/=N$//' | sort > "$tmp/flags.doc"
+diff -u "$tmp/flags.actual" "$tmp/flags.doc" > "$tmp/flags.diff" \
+  || { cat "$tmp/flags.diff" >&2; fail "docs/diagnostics.md flag table drifted from --dump-flags"; }
+
+"$OLCLINT" --dump-counters | sort > "$tmp/counters.actual"
+[ -s "$tmp/counters.actual" ] || fail "--dump-counters should print the counter list"
+sed -n '/^## Telemetry counters/,/^## /p' "$DOCS/diagnostics.md" \
+  | sed -n 's/^| `\([^`]*\)`.*/\1/p' | sort > "$tmp/counters.doc"
+diff -u "$tmp/counters.actual" "$tmp/counters.doc" > "$tmp/counters.diff" \
+  || { cat "$tmp/counters.diff" >&2; fail "docs/diagnostics.md counter table drifted from --dump-counters"; }
 
 # --- summary ----------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then

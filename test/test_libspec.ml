@@ -68,11 +68,17 @@ let test_idempotent () =
   let text1 = Check.Libspec.save prog in
   let env = Check.Libspec.load ~flags ~file:"node.lh" text1 in
   let text2 = Check.Libspec.save env in
-  (* the header comment names the source file; compare the body *)
+  (* unwrap the stamped frame; the payload's own header comment names the
+     source file, so compare everything after it *)
   let body t =
-    match String.index_opt t '\n' with
-    | Some i -> String.sub t i (String.length t - i)
-    | None -> t
+    let payload =
+      match Check.Libspec.(unstamp ~kind:library_kind) t with
+      | Ok (_, p) -> p
+      | Error e -> Alcotest.failf "unstamp: %s" e
+    in
+    match String.index_opt payload '\n' with
+    | Some i -> String.sub payload i (String.length payload - i)
+    | None -> payload
   in
   Alcotest.(check string) "fixpoint" (body text1) (body text2)
 
@@ -123,6 +129,102 @@ let test_stdlib_library_clean () =
      && an.Annot.an_def = Some Annot.Out
      && an.Annot.an_alloc = Some Annot.Only)
 
+let test_inferred_provenance_roundtrip () =
+  (* the inferred-provenance bit on an annotation set survives
+     save/load: a library built from inference output still renders
+     its diagnostics as [inferred] hints on the client side *)
+  let prog = build_lib () in
+  let fs = Hashtbl.find prog.Sema.p_funcs "node_create" in
+  Hashtbl.replace prog.Sema.p_funcs "node_create"
+    {
+      fs with
+      Sema.fs_ret_annots =
+        {
+          fs.Sema.fs_ret_annots with
+          Sema.an = Annot.mark_inferred fs.Sema.fs_ret_annots.Sema.an;
+        };
+    };
+  let text = Check.Libspec.save prog in
+  let env = Check.Libspec.load ~flags ~file:"node.lh" text in
+  let loaded = Hashtbl.find env.Sema.p_funcs "node_create" in
+  Alcotest.(check bool) "inferred bit survives" true
+    (Annot.is_inferred loaded.Sema.fs_ret_annots.Sema.an);
+  Alcotest.(check bool) "annotation value survives" true
+    (loaded.Sema.fs_ret_annots.Sema.an.Annot.an_alloc = Some Annot.Only);
+  (* an untouched function stays explicit *)
+  let other = Hashtbl.find env.Sema.p_funcs "node_value" in
+  Alcotest.(check bool) "explicit stays explicit" false
+    (Annot.is_inferred other.Sema.fs_ret_annots.Sema.an)
+
+let test_modular_matches_inprocess () =
+  (* checking a client against the dumped library reports exactly what
+     whole-program (in-process) checking reports for the same client *)
+  let client =
+    "int main(void) { node *n = node_create(1); node *m = node_create(2); n \
+     = m; node_destroy(n); return node_value(n); }"
+  in
+  let client_codes env =
+    List.iter
+      (fun ((fs : Sema.funsig), def) ->
+        if fs.Sema.fs_loc.Cfront.Loc.file = "client.c" then
+          Check.Checker.check_fundef env fs def)
+      (Sema.fundefs env);
+    List.filter_map
+      (fun (d : Cfront.Diag.t) ->
+        if d.Cfront.Diag.loc.Cfront.Loc.file = "client.c" then
+          Some (d.Cfront.Diag.code, d.Cfront.Diag.loc.Cfront.Loc.line)
+        else None)
+      (Cfront.Diag.Collector.sorted env.Sema.diags)
+  in
+  let parse_into env file text =
+    let typedefs =
+      Hashtbl.fold (fun k _ acc -> k :: acc) env.Sema.p_typedefs []
+    in
+    let tu = Cfront.Parser.parse_string ~typedefs ~file text in
+    ignore (Sema.analyze ~flags ~into:env tu)
+  in
+  (* in-process: library source and client in one environment *)
+  let whole = Stdspec.environment ~flags () in
+  parse_into whole "node.c" lib_src;
+  parse_into whole "client.c" client;
+  let whole_codes = client_codes whole in
+  (* modular: dumped library loaded, then the client *)
+  let modular =
+    Check.Libspec.load ~flags
+      ~into:(Stdspec.environment ~flags ())
+      ~file:"node.lh"
+      (Check.Libspec.save (build_lib ()))
+  in
+  parse_into modular "client.c" client;
+  let modular_codes = client_codes modular in
+  Alcotest.(check (list (pair string int)))
+    "same diagnostics" whole_codes modular_codes;
+  Alcotest.(check bool) "found something" true (whole_codes <> [])
+
+let test_tampered_stamp_rejected () =
+  let prog = build_lib () in
+  let text = Check.Libspec.save prog in
+  (* flip a payload byte without touching the stamp line *)
+  let mangled = Bytes.of_string text in
+  let i = String.length text - 2 in
+  Bytes.set mangled i
+    (if Bytes.get mangled i = 'x' then 'y' else 'x');
+  let rejected kind s =
+    match Check.Libspec.load ~flags ~file:"node.lh" s with
+    | exception Cfront.Diag.Fatal _ -> true
+    | _ -> Alcotest.failf "%s accepted" kind
+  in
+  Alcotest.(check bool) "tampered payload rejected" true
+    (rejected "tampered payload" (Bytes.to_string mangled));
+  (* a future format version is rejected rather than misread *)
+  let future =
+    Check.Libspec.stamp ~kind:Check.Libspec.library_kind
+      ~version:(Check.Libspec.library_version + 1)
+      "/* header */\n"
+  in
+  Alcotest.(check bool) "future version rejected" true
+    (rejected "future version" future)
+
 let () =
   Alcotest.run "libspec"
     [
@@ -132,10 +234,16 @@ let () =
           Alcotest.test_case "annotations survive" `Quick test_roundtrip_annotations;
           Alcotest.test_case "idempotent" `Quick test_idempotent;
           Alcotest.test_case "stdlib" `Quick test_stdlib_library_clean;
+          Alcotest.test_case "inferred provenance" `Quick
+            test_inferred_provenance_roundtrip;
+          Alcotest.test_case "tampered stamp" `Quick
+            test_tampered_stamp_rejected;
         ] );
       ( "modular",
         [
           Alcotest.test_case "clean client" `Quick test_modular_clean_client;
           Alcotest.test_case "buggy client" `Quick test_modular_buggy_client;
+          Alcotest.test_case "matches in-process" `Quick
+            test_modular_matches_inprocess;
         ] );
     ]

@@ -76,9 +76,14 @@ let prop_libspec_fixpoint =
       let env = Check.Libspec.load ~file:"lib.lh" text1 in
       let text2 = Check.Libspec.save env in
       let body t =
-        match String.index_opt t '\n' with
-        | Some i -> String.sub t i (String.length t - i)
-        | None -> t
+        let payload =
+          match Check.Libspec.(unstamp ~kind:library_kind) t with
+          | Ok (_, p) -> p
+          | Error _ -> t
+        in
+        match String.index_opt payload '\n' with
+        | Some i -> String.sub payload i (String.length payload - i)
+        | None -> payload
       in
       body text1 = body text2)
 
