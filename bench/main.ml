@@ -1269,6 +1269,255 @@ let incr_exp () =
 (* Driver                                                              *)
 (* ------------------------------------------------------------------ *)
 
+(* ------------------------------------------------------------------ *)
+(* E14: OOM fault-injection sweep                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* A hostile-allocation trial mix: bugs that hide on the untaken
+   allocation-failure path of every ordinary run ([Brealloc_lost],
+   [Boom_leak]), plus the refcount borrow and two always-visible
+   controls; every fourth trial is clean.  Coverage is full so the
+   carriers always execute. *)
+let oom_trial seed =
+  let mixes =
+    [|
+      [ Progen.Brealloc_lost ];
+      [ Progen.Boom_leak ];
+      [ Progen.Brealloc_lost; Progen.Boom_leak ];
+      [ Progen.Brefcount_use; Progen.Bleak ];
+      [ Progen.Boom_leak; Progen.Bnull_deref ];
+      [ Progen.Brealloc_lost; Progen.Brefcount_leak ];
+    |]
+  in
+  let bugs = if seed mod 4 = 0 then [] else mixes.(seed mod 6) in
+  {
+    Difftest.t_seed = seed;
+    t_modules = 1 + (seed mod 2);
+    t_fns = 2;
+    t_bugs = bugs;
+    t_coverage = 1.0;
+    t_max_steps = 200_000;
+  }
+
+let oom_exp () =
+  section "E14: OOM fault-injection sweep -- every allocation site fails";
+  row "  Fixed-seed hostile-allocation sweep (seeds %d..%d): for each\n"
+    !seed_flag (!seed_flag + 11);
+  row "  generated program, re-run the differential oracle once per\n";
+  row "  heap allocation request with that request forced to fail.\n";
+  row "  Leaks are assessed only on runs that still exited 0; the\n";
+  row "  realloc-lost leaks that surface must either have a static\n";
+  row "  witness or classify as excused blind spots, and +allocmodel\n";
+  row "  must clear the realloc-lost excuses by witnessing them\n";
+  row "  statically.  Written to BENCH_oom.json.\n\n";
+  let trials = List.init 12 (fun i -> oom_trial (!seed_flag + i)) in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let sweep_of flags =
+    List.map (fun t -> (t, Difftest.run_trial_oom ~flags t)) trials
+  in
+  let (default_sweep, dt) = time (fun () -> sweep_of Annot.Flags.default) in
+  let am_flags =
+    { Annot.Flags.default with Annot.Flags.alloc_model = true }
+  in
+  let (am_sweep, dt2) = time (fun () -> sweep_of am_flags) in
+  let n_inject = Telemetry.Counter.value Telemetry.c_oom_injections in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let findings sweep =
+    List.concat_map
+      (fun ((t : Difftest.trial), runs) ->
+        List.concat_map
+          (fun (site, (v : Difftest.verdict)) ->
+            List.map
+              (fun f -> (t.Difftest.t_seed, site, f))
+              v.Difftest.v_findings)
+          runs)
+      sweep
+  in
+  let count sweep kind cls =
+    List.length
+      (List.filter
+         (fun (_, _, (f : Difftest.finding)) ->
+           f.Difftest.f_kind = kind && f.Difftest.f_class = cls)
+         (findings sweep))
+  in
+  let gaps sweep =
+    List.concat_map (fun (_, runs) -> Difftest.oom_gaps runs) sweep
+  in
+  let d_spots = count default_sweep Difftest.Blind_spot "realloc-lost"
+  and am_spots = count am_sweep Difftest.Blind_spot "realloc-lost" in
+  row "  %-22s %10s %12s %6s\n" "config" "injections" "realloc-lost"
+    "gaps";
+  row "  %-22s %10s %12d %6d  (%.1fs)\n" "default" "" d_spots
+    (List.length (gaps default_sweep)) dt;
+  row "  %-22s %10s %12d %6d  (%.1fs)\n" "+allocmodel" "" am_spots
+    (List.length (gaps am_sweep)) dt2;
+  row "\n  %d injected allocation failures across both sweeps\n" n_inject;
+  let finding_json (seed, site, (f : Difftest.finding)) =
+    Telemetry.Json.(
+      Obj
+        [
+          ("seed", Int seed);
+          ("site", Int site);
+          ("kind", String (Difftest.kind_string f.Difftest.f_kind));
+          ("class", String f.Difftest.f_class);
+          ("file", String f.Difftest.f_file);
+          ("detail", String f.Difftest.f_detail);
+        ])
+  in
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "oom");
+          ("seed", Int !seed_flag);
+          ("trials", Int (List.length trials));
+          ("injections", Int n_inject);
+          ("seconds", Float (dt +. dt2));
+          ( "default",
+            Obj
+              [
+                ("realloc_lost_blind_spots", Int d_spots);
+                ("gaps", Int (List.length (gaps default_sweep)));
+                ( "findings",
+                  List (List.map finding_json (findings default_sweep)) );
+              ] );
+          ( "allocmodel",
+            Obj
+              [
+                ("realloc_lost_blind_spots", Int am_spots);
+                ("gaps", Int (List.length (gaps am_sweep)));
+                ( "findings",
+                  List (List.map finding_json (findings am_sweep)) );
+              ] );
+        ])
+  in
+  let oc = open_out "BENCH_oom.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "  wrote BENCH_oom.json\n";
+  (* the CI gates: no unexcused divergence under either config, at
+     least one excused realloc-lost under the default heuristic, and
+     none left once +allocmodel witnesses them statically *)
+  let fail msg =
+    Printf.eprintf "oom: %s\n" msg;
+    exit 3
+  in
+  List.iter
+    (fun (f : Difftest.finding) ->
+      Printf.eprintf "oom: %s\n" (Fmt.str "%a" Difftest.pp_finding f))
+    (gaps default_sweep @ gaps am_sweep);
+  if gaps default_sweep <> [] || gaps am_sweep <> [] then
+    fail "unexcused divergences under OOM injection";
+  if d_spots = 0 then
+    fail "expected excused realloc-lost blind spots under default flags";
+  if am_spots > 0 then
+    fail "realloc-lost still excused under +allocmodel"
+
+(* ------------------------------------------------------------------ *)
+(* E15: SV-COMP MemSafety yardstick                                    *)
+(* ------------------------------------------------------------------ *)
+
+let svcomp_dir = "bench/svcomp"
+
+let svcomp_exp () =
+  section "E15: SV-COMP MemSafety yardstick";
+  row "  Score the checker against the bundled SV-COMP-style MemSafety\n";
+  row "  tasks (%s): claim false when a diagnostic witnesses\n" svcomp_dir;
+  row "  the task's subproperty, true only on a clean report, unknown\n";
+  row "  otherwise.  The gate: no true verdict on an expected-false\n";
+  row "  task (an unsound claim).  Written to BENCH_svcomp.json.\n\n";
+  let flags =
+    {
+      Flags.default with
+      Flags.alloc_model = true;
+      loop_exec = true;
+      free_offset = true;
+      free_static = true;
+    }
+  in
+  match Svcomp.load_dir svcomp_dir with
+  | Error m ->
+      Printf.eprintf "svcomp: %s\n" m;
+      exit 3
+  | Ok tasks ->
+      let scored, dt =
+        time (fun () -> List.map (Svcomp.run_task ~flags) tasks)
+      in
+      row "  %-28s %-9s %-9s %s\n" "task" "expected" "verdict" "witnesses";
+      List.iter
+        (fun (s : Svcomp.scored) ->
+          row "  %-28s %-9b %-9s %s\n" s.Svcomp.s_task.Svcomp.t_name
+            s.Svcomp.s_task.Svcomp.t_expected
+            (Svcomp.verdict_string s.Svcomp.s_verdict)
+            (if s.Svcomp.s_codes <> [] then
+               String.concat "," s.Svcomp.s_codes
+             else s.Svcomp.s_detail))
+        scored;
+      let sum = Svcomp.summarize scored in
+      row
+        "\n  %d tasks in %.1fs: %d correct-true, %d correct-false, %d \
+         unknown,\n"
+        sum.Svcomp.n_tasks dt sum.Svcomp.n_correct_true
+        sum.Svcomp.n_correct_false sum.Svcomp.n_unknown;
+      row "  %d imprecise, %d unsound\n" sum.Svcomp.n_imprecise
+        sum.Svcomp.n_unsound;
+      let task_json (s : Svcomp.scored) =
+        Telemetry.Json.(
+          Obj
+            [
+              ("name", String s.Svcomp.s_task.Svcomp.t_name);
+              ("expected", Bool s.Svcomp.s_task.Svcomp.t_expected);
+              ( "subproperty",
+                match s.Svcomp.s_task.Svcomp.t_subproperty with
+                | Some p -> String p
+                | None -> Null );
+              ("verdict", String (Svcomp.verdict_string s.Svcomp.s_verdict));
+              ( "codes",
+                List (List.map (fun c -> String c) s.Svcomp.s_codes) );
+              ("detail", String s.Svcomp.s_detail);
+            ])
+      in
+      let doc =
+        Telemetry.Json.(
+          Obj
+            [
+              ("experiment", String "svcomp");
+              ("flags", String (Flags.canonical flags));
+              ("seconds", Float dt);
+              ( "summary",
+                Obj
+                  [
+                    ("tasks", Int sum.Svcomp.n_tasks);
+                    ("correct_true", Int sum.Svcomp.n_correct_true);
+                    ("correct_false", Int sum.Svcomp.n_correct_false);
+                    ("unsound", Int sum.Svcomp.n_unsound);
+                    ("imprecise", Int sum.Svcomp.n_imprecise);
+                    ("unknown", Int sum.Svcomp.n_unknown);
+                  ] );
+              ("tasks", List (List.map task_json scored));
+            ])
+      in
+      let oc = open_out "BENCH_svcomp.json" in
+      output_string oc (Telemetry.Json.to_string doc);
+      output_string oc "\n";
+      close_out oc;
+      row "  wrote BENCH_svcomp.json\n";
+      if sum.Svcomp.n_unsound > 0 then begin
+        List.iter
+          (fun (s : Svcomp.scored) ->
+            if
+              (not s.Svcomp.s_task.Svcomp.t_expected)
+              && s.Svcomp.s_verdict = Svcomp.Vtrue
+            then
+              Printf.eprintf "svcomp: unsound true verdict on %s\n"
+                s.Svcomp.s_task.Svcomp.t_name)
+          scored;
+        exit 3
+      end
+
 let experiments =
   [
     ("fig_sample", fig_sample);
@@ -1287,6 +1536,8 @@ let experiments =
     ("difftest", difftest_exp);
     ("loops", loops_exp);
     ("incr", incr_exp);
+    ("oom", oom_exp);
+    ("svcomp", svcomp_exp);
   ]
 
 let () =

@@ -1,0 +1,10 @@
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  free(p);
+  return 0;
+}

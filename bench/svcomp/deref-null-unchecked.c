@@ -1,0 +1,8 @@
+/* malloc may return NULL; the result is dereferenced unchecked. */
+int main(void)
+{
+  char *p = (char *) malloc(8);
+  p[0] = 'x';
+  free(p);
+  return 0;
+}

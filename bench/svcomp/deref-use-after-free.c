@@ -1,0 +1,16 @@
+/* read through a released pointer */
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  char c;
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  free(p);
+  c = p[0];
+  if (c == 'x') {
+    return 1;
+  }
+  return 0;
+}

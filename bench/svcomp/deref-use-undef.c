@@ -1,0 +1,15 @@
+/* the malloc'd contents are read before anything is written */
+int main(void)
+{
+  int *p = (int *) malloc(4);
+  int c;
+  if (p == NULL) {
+    return 1;
+  }
+  c = *p;
+  free(p);
+  if (c == 7) {
+    return 1;
+  }
+  return 0;
+}

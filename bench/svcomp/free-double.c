@@ -1,0 +1,12 @@
+/* the second free releases already-released storage */
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  free(p);
+  free(p);
+  return 0;
+}

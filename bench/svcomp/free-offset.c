@@ -1,0 +1,12 @@
+/* free of an interior pointer */
+int main(void)
+{
+  char *p = (char *) malloc(8);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  p = p + 4;
+  free(p);
+  return 0;
+}

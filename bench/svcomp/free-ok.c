@@ -1,0 +1,18 @@
+int main(void)
+{
+  char *a = (char *) malloc(1);
+  char *b;
+  if (a == NULL) {
+    return 1;
+  }
+  a[0] = 'a';
+  b = (char *) malloc(1);
+  if (b == NULL) {
+    free(a);
+    return 1;
+  }
+  b[0] = 'b';
+  free(a);
+  free(b);
+  return 0;
+}

@@ -1,0 +1,14 @@
+/* calloc returns zeroed storage: reading it back is defined */
+int main(void)
+{
+  char *p = (char *) calloc(4, 1);
+  if (p == NULL) {
+    return 1;
+  }
+  if (p[0] != 0) {
+    free(p);
+    return 1;
+  }
+  free(p);
+  return 0;
+}

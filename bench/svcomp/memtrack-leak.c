@@ -1,0 +1,10 @@
+/* the block is never released */
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  return 0;
+}

@@ -1,0 +1,17 @@
+/* one block leaks per iteration except the last */
+int main(void)
+{
+  char *p = NULL;
+  int i;
+  i = 0;
+  while (i < 3) {
+    p = (char *) malloc(4);
+    if (p == NULL) {
+      return 1;
+    }
+    p[0] = 'x';
+    i = i + 1;
+  }
+  free(p);
+  return 0;
+}

@@ -1,0 +1,18 @@
+/* p = realloc(p, n): the only reference to the old block is
+   overwritten with a result that may be NULL -- the storage is lost
+   exactly when the allocation fails. */
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  p = (char *) realloc(p, 2);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'y';
+  free(p);
+  return 0;
+}

@@ -1,0 +1,20 @@
+/* The safe growth idiom: keep the old reference until the realloc
+   result is known to be non-NULL. */
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  char *tmp;
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  tmp = (char *) realloc(p, 2);
+  if (tmp == NULL) {
+    free(p);
+    return 1;
+  }
+  p = tmp;
+  p[0] = 'y';
+  free(p);
+  return 0;
+}

@@ -15,7 +15,7 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let run files entry max_steps show_output show_profile stats timings =
+let run files entry max_steps oom_fail show_output show_profile stats timings =
   if stats || timings then Telemetry.set_enabled true;
   let flags = Annot.Flags.default in
   let prog = Stdspec.environment ~flags () in
@@ -37,7 +37,7 @@ let run files entry max_steps show_output show_profile stats timings =
       exit 2);
   let r =
     Telemetry.with_span Telemetry.phase_interp (fun () ->
-        Rtcheck.run ~entry ~max_steps prog)
+        Rtcheck.run ~entry ~max_steps ?oom_fail prog)
   in
   if show_output then print_string r.Rtcheck.output;
   Format.printf "%a" Rtcheck.pp_summary r;
@@ -59,6 +59,15 @@ let max_steps_arg =
     value
     & opt int 2_000_000
     & info [ "max-steps" ] ~docv:"N" ~doc:"Execution step budget.")
+
+let oom_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "oom" ] ~docv:"N"
+        ~doc:
+          "OOM fault injection: force heap allocation request $(docv) \
+           (1-based) to fail once.")
 
 let show_output_arg =
   Arg.(value & flag & info [ "show-output" ] ~doc:"Print the program's stdout.")
@@ -86,14 +95,17 @@ let cmd =
   Cmd.v
     (Cmd.info "olcrun" ~version:"1.0" ~doc)
     Term.(
-      const run $ files_arg $ entry_arg $ max_steps_arg $ show_output_arg
-      $ show_profile_arg $ stats_arg $ timings_arg)
+      const run $ files_arg $ entry_arg $ max_steps_arg $ oom_arg
+      $ show_output_arg $ show_profile_arg $ stats_arg $ timings_arg)
 
 (* accept the LCLint-style single-dash spellings too *)
 let argv =
   Array.map
     (function
-      | "-stats" -> "--stats" | "-timings" -> "--timings" | a -> a)
+      | "-stats" -> "--stats"
+      | "-timings" -> "--timings"
+      | "-oom" -> "--oom"
+      | a -> a)
     Sys.argv
 
 let () = exit (Cmd.eval' ~argv cmd)

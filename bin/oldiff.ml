@@ -8,6 +8,7 @@
     oldiff -j 4 -runs 200                # trials on a domain pool
     oldiff -timeout-steps 50000 ...      # interpreter step budget
     oldiff -reduce DIR ...               # shrink + write reproducers
+    oldiff -oom -runs 20 ...             # OOM fault-injection sweep
     v}
 
     Exit status: 0 when every divergence is a declared blind spot, 1
@@ -16,7 +17,7 @@
 
 open Cmdliner
 
-let run seed runs timeout_steps jobs reduce_dir verbose flag_args =
+let run seed runs timeout_steps jobs reduce_dir verbose oom flag_args =
   let flags =
     match Annot.Flags.(apply_all default) flag_args with
     | Ok f -> f
@@ -38,6 +39,44 @@ let run seed runs timeout_steps jobs reduce_dir verbose flag_args =
         { (Difftest.trial_of_seed (seed + i)) with
           Difftest.t_max_steps = timeout_steps })
   in
+  if oom then begin
+    (* fault-injection mode: classify every trial once per heap
+       allocation request with that request forced to fail *)
+    let results =
+      List.map (fun t -> (t, Difftest.run_trial_oom ~flags t)) trials
+    in
+    let sites = ref 0 and blind = ref 0 in
+    List.iter
+      (fun ((t : Difftest.trial), runs) ->
+        List.iter
+          (fun (site, (v : Difftest.verdict)) ->
+            if site > 0 then incr sites;
+            List.iter
+              (fun (f : Difftest.finding) ->
+                if f.Difftest.f_kind = Difftest.Blind_spot then incr blind;
+                if verbose || f.Difftest.f_kind <> Difftest.Blind_spot then
+                  Format.printf "seed %d oom %d  %a@." t.Difftest.t_seed
+                    site Difftest.pp_finding f)
+              v.Difftest.v_findings)
+          runs)
+      results;
+    let gaps =
+      List.concat_map (fun (_, runs) -> Difftest.oom_gaps runs) results
+    in
+    Format.printf
+      "%d trial%s, %d injected allocation failure%s: %d blind-spot \
+       divergence%s excused, %d finding%s kept@."
+      runs
+      (if runs = 1 then "" else "s")
+      !sites
+      (if !sites = 1 then "" else "s")
+      !blind
+      (if !blind = 1 then "" else "s")
+      (List.length gaps)
+      (if List.length gaps = 1 then "" else "s");
+    if gaps = [] then 0 else 1
+  end
+  else begin
   let outs = Difftest.sweep ~jobs ~flags trials in
   let report (o : Difftest.outcome) =
     List.iter
@@ -97,6 +136,7 @@ let run seed runs timeout_steps jobs reduce_dir verbose flag_args =
     (List.length gaps)
     (if List.length gaps = 1 then "" else "s");
   if gaps = [] then 0 else 1
+  end
 
 let seed_arg =
   Arg.(
@@ -134,6 +174,16 @@ let verbose_arg =
     value & flag
     & info [ "verbose" ] ~doc:"Also print excused blind-spot divergences.")
 
+let oom_arg =
+  Arg.(
+    value & flag
+    & info [ "oom" ]
+        ~doc:
+          "OOM fault-injection mode: re-classify each trial once per heap \
+           allocation request with that request forced to fail, so the \
+           error-handling paths ordinary runs never take are exercised \
+           too.")
+
 let flags_arg =
   Arg.(
     value
@@ -151,7 +201,7 @@ let cmd =
     (Cmd.info "oldiff" ~version:"1.0" ~doc)
     Term.(
       const run $ seed_arg $ runs_arg $ timeout_steps_arg $ jobs_arg
-      $ reduce_arg $ verbose_arg $ flags_arg)
+      $ reduce_arg $ verbose_arg $ oom_arg $ flags_arg)
 
 (* accept the LCLint-style single-dash spellings too, plus bare [+name]
    checking flags and [-loopiter N] as sugar for [-f loopiter=N] *)
@@ -169,6 +219,7 @@ let argv =
     | "-jobs" :: rest -> "--jobs" :: rewrite rest
     | "-reduce" :: rest -> "--reduce" :: rewrite rest
     | "-verbose" :: rest -> "--verbose" :: rewrite rest
+    | "-oom" :: rest -> "--oom" :: rewrite rest
     | a :: rest when String.length a > 1 && a.[0] = '+' ->
         "-f" :: a :: rewrite rest
     | a :: rest -> a :: rewrite rest

@@ -275,6 +275,45 @@ let check_compat (s : set) : string option =
             Some "shared storage may not be undefined (shared + out)"
         | _ -> None)
 
+(** The declaration slot an annotation set is attached to, for the
+    slot-sensitive validity rules: the reference-count words are
+    directional ([newref] describes a result, [killref]/[tempref] describe
+    parameters), so the right combination on the wrong slot is an error
+    [check_compat] cannot see. *)
+type slot =
+  | Sparam of string  (** a parameter, by name *)
+  | Sreturn of string  (** the return value of the named function *)
+
+(** Slot-sensitive validity: rejects [newref] on a parameter and
+    [killref]/[tempref] on a return slot, naming the slot in the
+    message.  Complements {!check_compat}, which only sees the set. *)
+let validate ~(slot : slot) (s : set) : string option =
+  match slot with
+  | Sparam pname ->
+      if s.an_newref then
+        Some
+          (Printf.sprintf
+             "newref declared on parameter %s: newref describes a returned \
+              reference (a parameter reference is consumed with killref or \
+              borrowed with tempref)"
+             pname)
+      else None
+  | Sreturn fname ->
+      if s.an_killref then
+        Some
+          (Printf.sprintf
+             "killref declared on the return value of %s: killref consumes \
+              a parameter reference (a returned new reference is declared \
+              newref)"
+             fname)
+      else if s.an_tempref then
+        Some
+          (Printf.sprintf
+             "tempref declared on the return value of %s: tempref describes \
+              a borrowed parameter reference"
+             fname)
+      else None
+
 (** Render a set back to annotation words (canonical order), used by the
     interface-library writer. *)
 let to_words (s : set) : string list =

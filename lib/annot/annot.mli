@@ -110,6 +110,15 @@ val check_compat : set -> string option
 (** First incompatible combination, if any ("certain combinations of
     annotations are incompatible and will produce static errors"). *)
 
+type slot =
+  | Sparam of string  (** a parameter, by name *)
+  | Sreturn of string  (** the return value of the named function *)
+
+val validate : slot:slot -> set -> string option
+(** Slot-sensitive validity: the reference-count words are directional,
+    so [newref] on a parameter and [killref]/[tempref] on a return slot
+    are rejected with a message naming the slot. *)
+
 val to_words : set -> string list
 (** Canonical word list (the interface-library writer's form). *)
 

@@ -61,6 +61,12 @@ type t = {
           [+loopexec] fixpoint; a loop that has not converged within the
           bound bails out to the zero-or-one-times heuristic (and ticks
           the [loop_bailouts] telemetry counter) *)
+  alloc_model : bool;
+      (** [+allocmodel]: path-sensitive allocator-family semantics — on
+          realloc's NULL-return branch the old reference is resurrected
+          (still allocated), and overwriting the sole live reference with
+          a realloc result raises [realloclost] (off by default,
+          preserving the paper's miss profile) *)
 }
 
 let default =
@@ -85,6 +91,7 @@ let default =
     infer_constraints = false;
     loop_exec = false;
     loop_iter = 8;
+    alloc_model = false;
   }
 
 (** The paper's [-allimponly] run (Section 6): no implicit [only]
@@ -160,6 +167,7 @@ let apply (f : t) (s : string) : (t, flag_error) result =
   | "aliastrack" -> Ok { f with alias_tracking = set }
   | "inferconstraints" -> Ok { f with infer_constraints = set }
   | "loopexec" -> Ok { f with loop_exec = set }
+  | "allocmodel" -> Ok { f with alloc_model = set }
   | "loopiter" ->
       (* valueless spelling resets the bound to its default *)
       Ok { f with loop_iter = default.loop_iter }
@@ -206,6 +214,7 @@ let canonical (f : t) =
       b "inferconstraints" f.infer_constraints;
       b "loopexec" f.loop_exec;
       Printf.sprintf "loopiter=%d" f.loop_iter;
+      b "allocmodel" f.alloc_model;
     ]
 
 let flag_names =
@@ -214,6 +223,7 @@ let flag_names =
     "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
     "guards"; "aliastrack"; "inferconstraints"; "loopexec"; "loopiter";
+    "allocmodel";
   ]
 
 (* Levenshtein distance, one-row DP. *)

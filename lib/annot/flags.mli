@@ -32,6 +32,9 @@ type t = {
   loop_iter : int;
       (** [loopiter=N]: iteration bound for the [+loopexec] fixpoint
           before bailing out to the heuristic (default 8) *)
+  alloc_model : bool;
+      (** [+allocmodel]: path-sensitive allocator-family semantics
+          (realloc NULL-branch resurrection, [realloclost]) *)
 }
 
 val default : t

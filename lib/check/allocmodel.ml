@@ -1,0 +1,53 @@
+(** The allocator-family model ([+allocmodel]).
+
+    The paper describes [malloc]/[free] entirely through [only]/[null]
+    annotations ("There is nothing special about malloc and free").  That
+    uniformity has a blind spot: [realloc]'s [only] parameter is consumed
+    on every path, so on the failure path — where the old block is still
+    allocated — the checker believes the storage is already released.
+    [p = realloc(p, n)] then silently loses the last reference to the old
+    block, and the correct [tmp = realloc(p, n)] idiom is punished with a
+    dead-storage false positive when the old pointer is freed on the
+    failure branch.
+
+    This table names the allocator family so the checker can give those
+    calls path-sensitive semantics when [+allocmodel] is set:
+
+    - [Alloc]: a fresh block; [zeroed] records whether its contents are
+      defined on return ([calloc]) or merely allocated ([malloc],
+      [aligned_alloc] — alignment does not affect the abstract state, but
+      classifying the call keeps the definedness bookkeeping uniform even
+      when a local redeclaration drops the [out] annotation).
+    - [Realloc]: resizes the block named by its first pointer argument.
+      On the non-null result branch the old reference really is released;
+      on the null branch it is still allocated and must be resurrected. *)
+
+type family =
+  | Alloc of { zeroed : bool }
+      (** malloc-like: returns a fresh block, contents defined iff
+          [zeroed] *)
+  | Realloc
+      (** realloc-like: consumes its first pointer argument only when the
+          result is non-null *)
+
+(** Classify a standard allocator by name.  Returns [None] for everything
+    outside the modeled family (including [free], whose semantics the
+    annotations already capture exactly). *)
+let classify = function
+  | "malloc" -> Some (Alloc { zeroed = false })
+  | "calloc" -> Some (Alloc { zeroed = true })
+  | "aligned_alloc" -> Some (Alloc { zeroed = false })
+  | "realloc" | "reallocarray" -> Some Realloc
+  | _ -> None
+
+let is_realloc name = classify name = Some Realloc
+
+(** The result's definition state under the model, when the call is a
+    modeled fresh allocation; [None] leaves the annotation-derived state
+    untouched (realloc preserves the old contents, so its annotations are
+    already right). *)
+let result_def name =
+  match classify name with
+  | Some (Alloc { zeroed = true }) -> Some State.DSdefined
+  | Some (Alloc { zeroed = false }) -> Some State.DSallocated
+  | Some Realloc | None -> None

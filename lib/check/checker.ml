@@ -85,6 +85,18 @@ type exit_info = {
       (** the externally visible view of each parameter, by index *)
 }
 
+(** What [+allocmodel] remembers about one realloc-family call: the
+    pre-call states of every name of the consumed argument's value.  On
+    the result's NULL branch those names are resurrected (the old block
+    is still allocated); a name overwritten before any test is pruned,
+    and pruning the last name is the [realloclost] leak. *)
+type realloc_source = {
+  rsrc_old : Sref.t;  (** the consumed first argument *)
+  mutable rsrc_saved : (Sref.t * Store.refstate) list;
+      (** surviving pre-call images, pruned as assignments overwrite them *)
+  rsrc_loc : Loc.t;  (** the call site *)
+}
+
 type env = {
   prog : Sema.program;
   flags : Flags.t;
@@ -102,6 +114,8 @@ type env = {
   mutable fresh : int;
   mutable statics : int;
   conflict_memo : (string, unit) Hashtbl.t;
+  realloc_sources : (int, realloc_source) Hashtbl.t;
+      (** [+allocmodel]: live realloc results by [Rfresh] id *)
 }
 
 let emit env ?(severity = Diag.Err) ?(notes = []) ~loc ~code fmt =
@@ -376,6 +390,135 @@ let touch_global env st (name : string) : Store.t =
         in
         Store.set st r s
     | None -> st
+
+(* ------------------------------------------------------------------ *)
+(* The allocator model (+allocmodel)                                   *)
+(* ------------------------------------------------------------------ *)
+
+(** The realloc source feeding [r], when [r] (or a same-value name of it)
+    is a live realloc-family result. *)
+let realloc_source_of env st (r : Sref.t) : realloc_source option =
+  if Hashtbl.length env.realloc_sources = 0 then None
+  else
+    let candidates = Sref.Set.add r (Store.alias_images st r) in
+    Sref.Set.fold
+      (fun img acc ->
+        match acc with
+        | Some _ -> acc
+        | None -> (
+            match Sref.root_of img with
+            | Sref.Rfresh (id, _) -> Hashtbl.find_opt env.realloc_sources id
+            | _ -> None))
+      candidates None
+
+(** A saved image the programmer can still reach by name.  [Rfresh] roots
+    are the allocated object itself (a value, not a reference to it) and
+    [Rparam] roots are the external mirror of a parameter — neither is an
+    expression, so neither can release the old block on its own. *)
+let rsrc_is_name (r : Sref.t) : bool =
+  match Sref.root_of r with
+  | Sref.Rfresh _ | Sref.Rparam _ -> false
+  | _ -> true
+
+(** NULL-branch semantics of a modeled realloc: the allocation failed, so
+    the old block is still allocated and its surviving names get their
+    pre-call states back.  Saved alias edges are restored only between
+    survivors — an edge into an overwritten name would tie the old block
+    to whatever value that name holds now.  Applied to the store of the
+    branch where [r], a realloc result, is refined to null. *)
+let allocmodel_resurrect env st (r : Sref.t) : Store.t =
+  if not env.flags.Flags.alloc_model then st
+  else
+    match realloc_source_of env st r with
+    | None -> st
+    | Some src ->
+        let surviving =
+          List.fold_left
+            (fun acc (oref, _) -> Sref.Set.add oref acc)
+            Sref.Set.empty src.rsrc_saved
+        in
+        List.fold_left
+          (fun st (oref, (s : Store.refstate)) ->
+            Store.set st oref
+              {
+                s with
+                Store.rs_aliases = Sref.Set.inter s.Store.rs_aliases surviving;
+              })
+          st src.rsrc_saved
+
+(** Assignment bookkeeping for the live realloc sources.  Overwriting a
+    name of an old block prunes it from that source's survivor list;
+    overwriting the LAST name with the still-possibly-null result of the
+    same realloc is the classic [p = realloc(p, n)] lost-pointer leak. *)
+let allocmodel_assign env st ~(rhs : value) ~(overwritten : Sref.Set.t) ~loc :
+    unit =
+  if env.flags.Flags.alloc_model && Hashtbl.length env.realloc_sources > 0 then begin
+    let rhs_result_id =
+      (* the realloc source whose fresh result the rhs value carries *)
+      match rhs.v_ref with
+      | Some rr when not rhs.v_addrof ->
+          let candidates = Sref.Set.add rr (Store.alias_images st rr) in
+          Sref.Set.fold
+            (fun img acc ->
+              match acc with
+              | Some _ -> acc
+              | None -> (
+                  match Sref.root_of img with
+                  | Sref.Rfresh (id, fname)
+                    when Hashtbl.mem env.realloc_sources id ->
+                      Some (id, fname)
+                  | _ -> None))
+            candidates None
+      | _ -> None
+    in
+    let lost =
+      Hashtbl.fold
+        (fun id (src : realloc_source) acc ->
+          let survivors =
+            List.filter
+              (fun (oref, _) -> not (Sref.Set.mem oref overwritten))
+              src.rsrc_saved
+          in
+          let live_names = List.exists (fun (o, _) -> rsrc_is_name o) survivors in
+          let had_names =
+            List.exists (fun (o, _) -> rsrc_is_name o) src.rsrc_saved
+          in
+          if
+            had_names && (not live_names)
+            && (match rhs_result_id with
+               | Some (rid, _) -> rid = id
+               | None -> false)
+            && (match rhs.v_null with NSnull | NSpossnull -> true | _ -> false)
+          then (id, src) :: acc
+          else begin
+            src.rsrc_saved <- survivors;
+            acc
+          end)
+        env.realloc_sources []
+    in
+    List.iter
+      (fun (id, (src : realloc_source)) ->
+        let fname =
+          match rhs_result_id with Some (_, f) -> f | None -> "realloc"
+        in
+        let notes =
+          [ Diag.note ~loc:src.rsrc_loc
+              (Fmt.str
+                 "Result of %s may be null while storage %s is still \
+                  allocated"
+                 fname
+                 (Sref.to_string src.rsrc_old));
+          ]
+        in
+        emit env ~loc ~code:"realloclost" ~notes
+          "Last reference %s to the pre-realloc block overwritten with the \
+           result of %s: storage is lost if the allocation fails (memory \
+           leak)"
+          (Sref.to_string src.rsrc_old)
+          fname;
+        Hashtbl.remove env.realloc_sources id)
+      lost
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Expression evaluation                                               *)
@@ -946,7 +1089,9 @@ and split_cond env st (e : Ast.expr) : Store.t * Store.t =
       (match v.v_ref with
       | Some r when env.flags.Flags.guard_refinement ->
           if truenull then
-            let t = Store.refine_null ~loc st r NSnull in
+            let t =
+              allocmodel_resurrect env (Store.refine_null ~loc st r NSnull) r
+            in
             let f = Store.refine_null ~loc st r NSnotnull in
             (t, f)
           else
@@ -961,7 +1106,9 @@ and split_cond env st (e : Ast.expr) : Store.t * Store.t =
       | Some r
         when Ctype.is_pointer v.v_ty && env.flags.Flags.guard_refinement ->
           let t = Store.refine_null ~loc st r NSnotnull in
-          let f = Store.refine_null ~loc st r NSnull in
+          let f =
+            allocmodel_resurrect env (Store.refine_null ~loc st r NSnull) r
+          in
           (t, f)
       | _ -> (st, st))
 
@@ -971,7 +1118,9 @@ and null_test env st (e : Ast.expr) ~eq ~loc : Store.t * Store.t =
   else
   match v.v_ref with
   | Some r when Ctype.is_pointer v.v_ty ->
-      let null_side = Store.refine_null ~loc st r NSnull in
+      let null_side =
+        allocmodel_resurrect env (Store.refine_null ~loc st r NSnull) r
+      in
       let notnull_side = Store.refine_null ~loc st r NSnotnull in
       if eq then (null_side, notnull_side) else (notnull_side, null_side)
   | _ -> (st, st)
@@ -1072,6 +1221,10 @@ and do_assign env st ~(lhs_ref : Sref.t) ~(lhs_ty : Ctype.t) ~(rhs : value)
     | Some rr -> Store.alias_images st rr
     | None -> Sref.Set.empty
   in
+  (* --- +allocmodel: realloc-result bookkeeping (prune / realloclost) --- *)
+  allocmodel_assign env st ~rhs
+    ~overwritten:(Sref.Set.add lhs_ref (Store.location_images st lhs_ref))
+    ~loc;
   (* --- losing the last reference to only storage (Fig. 4) --- *)
   (if
      env.flags.Flags.check_alloc
@@ -1535,6 +1688,21 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
     in
     zip fs.Sema.fs_params argvals
   in
+  (* +allocmodel: capture the pre-consumption states of a modeled
+     realloc's first argument — on the NULL-result branch those names
+     are resurrected (the old block is still allocated) *)
+  let realloc_capture =
+    if env.flags.Flags.alloc_model && Allocmodel.is_realloc fname then
+      match argvals with
+      | (({ v_ref = Some r; _ } : value) as v, _) :: _
+        when has_obligation v.v_alloc
+             && not (equal_nullstate v.v_null NSnull) ->
+          let imgs = Sref.Set.add r (Store.alias_images st r) in
+          Some
+            (r, List.map (fun i -> (i, Store.get st i)) (Sref.Set.elements imgs))
+      | _ -> None
+    else None
+  in
   (* per-argument interface checks and transfers *)
   let st =
     List.fold_left
@@ -1587,6 +1755,13 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
           | Some Annot.Partial -> DSpdefined
           | _ -> DSdefined
         in
+        let def =
+          (* the allocator table is authoritative for modeled fresh
+             allocations (calloc's result is zeroed, hence defined) *)
+          if env.flags.Flags.alloc_model then
+            Option.value (Allocmodel.result_def fname) ~default:def
+          else def
+        in
         let alloc =
           match ret_an.Annot.an_alloc with
           | Some Annot.Only -> ASonly
@@ -1603,7 +1778,13 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
         in
         if has_obligation alloc then begin
           (* fresh storage: track it so an unconsumed result is a leak *)
-          let r = Sref.root (Sref.Rfresh (fresh_id env, fname)) in
+          let id = fresh_id env in
+          let r = Sref.root (Sref.Rfresh (id, fname)) in
+          (match realloc_capture with
+          | Some (old_r, saved) ->
+              Hashtbl.replace env.realloc_sources id
+                { rsrc_old = old_r; rsrc_saved = saved; rsrc_loc = loc }
+          | None -> ());
           let st =
             Store.set st r
               (Store.mk_refstate ~def ~null ~alloc ~defloc:loc ~nullloc:loc
@@ -1679,6 +1860,13 @@ and check_arg env st (fs : Sema.funsig) (p : Sema.param) (v : value) ~fname
   let st =
     match an.Annot.an_def with
     | Some Annot.Out | Some Annot.Partial | Some Annot.RelDef -> st
+    | _
+      when env.flags.Flags.alloc_model
+           && Allocmodel.is_realloc fname
+           && Ctype.is_pointer p.Sema.pr_ty ->
+        (* realloc preserves whatever was defined: a partially defined
+           block (fresh from malloc) is a legitimate argument *)
+        st
     | _ -> check_arg_complete env st v ~fname ~aloc
   in
   (* --- allocation transfer --- *)
@@ -2183,6 +2371,68 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
                     st (incomplete_refs env st r)
               | _ -> st)
         in
+        (* newref balance: the returned value must carry a reference the
+           caller may own.  Borrowed (tempref) and transferred (killref,
+           fresh) references qualify — the count arithmetic is the
+           programmer's — but observer/exposed/static/shared/dependent
+           storage has no reference to give out. *)
+        (if
+           env.flags.Flags.check_alloc
+           && ret_an.Annot.an_newref
+           && Ctype.is_pointer fs.Sema.fs_ret
+           && (not (equal_nullstate v.v_null NSnull))
+           && (match v.v_alloc with
+              | ASobserver | ASexposed | ASstatic | AStemp | ASshared
+              | ASdependent ->
+                  true
+              | _ -> (
+                  match v.v_ref with
+                  | Some r -> (
+                      match Sref.root_of r with
+                      | Sref.Rstatic _ -> true
+                      | _ -> false)
+                  | None -> false))
+         then
+           let desc =
+             match v.v_ref with
+             | Some r -> Sref.to_string r
+             | None -> "<expression>"
+           in
+           emit env ~loc ~code:"refcount"
+             "Function %s returns %s storage %s as a newref result: no new \
+              reference is created (reference count balance)"
+             fs.Sema.fs_name
+             (allocstate_string v.v_alloc)
+             desc);
+        (* a borrowed (tempref) parameter reference must not outlive the
+           call through the result unless the function vouches for a new
+           reference (newref) *)
+        (if
+           env.flags.Flags.check_alloc
+           && (not ret_an.Annot.an_newref)
+           && Ctype.is_pointer fs.Sema.fs_ret
+         then
+           match v.v_ref with
+           | Some r ->
+               let imgs = Sref.Set.add r (Store.alias_images st r) in
+               List.iteri
+                 (fun i (p : Sema.param) ->
+                   if
+                     p.Sema.pr_annots.Sema.an.Annot.an_tempref
+                     && Sref.Set.exists
+                          (fun img ->
+                            match Sref.root_of img with
+                            | Sref.Rparam (j, _) -> j = i
+                            | _ -> false)
+                          imgs
+                   then
+                     emit env ~loc ~code:"refcount"
+                       "Borrowed reference %s (tempref param %s) returned \
+                        without a new reference (declare the result newref \
+                        or take a reference)"
+                       (Sref.to_string r) p.Sema.pr_name)
+                 fs.Sema.fs_params
+           | None -> ());
         (* allocation transfer through the result *)
         let only_result =
           match ret_an.Annot.an_alloc with
@@ -2195,6 +2445,8 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
             (if
                env.flags.Flags.check_alloc
                && (not (can_transfer_obligation v.v_alloc))
+               && (not ret_an.Annot.an_newref)
+                  (* a newref result gets the refcount-family message *)
                && not (equal_nullstate v.v_null NSnull)
              then
                let desc =
@@ -2264,6 +2516,23 @@ let check_exit env st ~(ret : value option) ~loc : Store.t =
                 leak_check_ref
                   ~ignoring:(Sref.Rparam (i, p.Sema.pr_name))
                   env st r ~what:"return" ~loc
+          | _ when an.Annot.an_tempref ->
+              (* a tempref reference is borrowed for the duration of the
+                 call: storing it where it outlives the call (a global,
+                 another parameter's object) escapes the borrow *)
+              if
+                env.flags.Flags.check_alloc && (not is_dead)
+                && escapes
+                     ~ignoring:(Sref.Rparam (i, p.Sema.pr_name))
+                     env st r
+              then begin
+                emit env ~loc ~code:"refcount"
+                  "Borrowed reference %s (tempref param) escapes through an \
+                   externally visible reference when %s returns"
+                  p.Sema.pr_name env.fs.Sema.fs_name;
+                Store.set_alloc ~loc st r ASerror
+              end
+              else st
           | _ -> st
         in
         (* temp parameters must survive (a release was reported at the
@@ -2435,6 +2704,15 @@ let silent_env env =
     exit_obs = None;
     scopes = List.map (fun s -> { vars = s.vars }) env.scopes;
     conflict_memo = Hashtbl.create 16;
+    (* deep copy: exploratory iterations prune/replace entries and the
+       real pass must not observe that *)
+    realloc_sources =
+      (let h = Hashtbl.create 4 in
+       Hashtbl.iter
+         (fun id (s : realloc_source) ->
+           Hashtbl.replace h id { s with rsrc_saved = s.rsrc_saved })
+         env.realloc_sources;
+       h);
   }
 
 let rec exec env st (stmt : Ast.stmt) : Store.t =
@@ -2810,6 +3088,7 @@ let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
       fresh = 0;
       statics = 0;
       conflict_memo = Hashtbl.create 16;
+      realloc_sources = Hashtbl.create 4;
     }
   in
   push_scope env;

@@ -34,7 +34,7 @@ let of_code = function
   | "freeoffset" -> [ "free-offset" ]
   | "freestatic" -> [ "free-static" ]
   | "mustfree" | "onlytrans" | "branchstate" | "globstate" | "compdestroy"
-  | "refcount" ->
+  | "refcount" | "realloclost" ->
       [ "leak" ]
   | _ -> []
 
@@ -47,7 +47,7 @@ let codes_for cls =
       "nullderef"; "nullpass"; "nullret"; "nullderive"; "globnull";
       "usedef"; "compdef"; "usereleased"; "freeoffset"; "freestatic";
       "mustfree"; "onlytrans"; "branchstate"; "globstate"; "compdestroy";
-      "refcount";
+      "refcount"; "realloclost";
     ]
 
 (** Does any kept diagnostic in [reports] witness run-time class [cls]

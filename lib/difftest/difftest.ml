@@ -131,6 +131,29 @@ let blind_spots (flags : Annot.Flags.t) =
       :: spots
   in
   let spots =
+    (* [p = realloc(p, n)]: without the path-sensitive allocator model
+       the checker cannot see that the old block is still allocated on
+       the failure branch; [+allocmodel] recovers the class *)
+    if flags.Annot.Flags.alloc_model then spots
+    else
+      {
+        bs_class = "realloc-lost";
+        bs_recover = Some "+allocmodel";
+        bs_cite = "test_check.ml: blind-spots/realloc-lost";
+      }
+      :: spots
+  in
+  let spots =
+    (* an uncounted borrow escaping through a helper's global: the
+       intraprocedural analysis has no flag that recovers this *)
+    {
+      bs_class = "refcount-use";
+      bs_recover = None;
+      bs_cite = "test_check.ml: blind-spots/refcount-use";
+    }
+    :: spots
+  in
+  let spots =
     if flags.Annot.Flags.free_offset then spots
     else
       {
@@ -186,6 +209,13 @@ let class_of_bug = function
   | Progen.Bloop_leak -> "leak"
   | Progen.Bloop_use_after_free -> "use-after-free"
   | Progen.Bloop_null_deref -> "null-deref"
+  (* likewise the allocator-model and refcount bugs: the run-time side
+     sees a plain leak / use-after-free; the dedicated class names only
+     appear on excused findings *)
+  | Progen.Brealloc_lost -> "leak"
+  | Progen.Boom_leak -> "leak"
+  | Progen.Brefcount_leak -> "leak"
+  | Progen.Brefcount_use -> "use-after-free"
 
 let dedupe findings =
   let seen = Hashtbl.create 16 in
@@ -199,8 +229,9 @@ let dedupe findings =
       end)
     findings
 
-let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
+let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000) ?oom_fail
     (p : Progen.program) : verdict =
+  let oom = oom_fail <> None in
   match Progen.static_check ~flags p with
   | exception e ->
       {
@@ -220,7 +251,7 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
   | sres -> (
       let reports = sres.Check.reports in
       let n_static = List.length reports in
-      match Progen.dynamic_check ~flags ~max_steps p with
+      match Progen.dynamic_check ~flags ~max_steps ?oom_fail p with
       | exception e ->
           {
             v_findings =
@@ -239,6 +270,11 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
       | dres ->
           let findings = ref [] in
           let push f = findings := f :: !findings in
+          (* Under OOM injection, end-of-run leaks are only assessed when
+             the program still claimed success: a run that bailed out of
+             the injected failure (exit != 0) legitimately leaves its
+             held blocks behind, which says nothing about the checker. *)
+          let assess_leaks = (not oom) || dres.Rtcheck.exit_code = Some 0 in
           (match dres.Rtcheck.aborted with
           | Some (Rtcheck.Aunsupported reason) ->
               push
@@ -284,17 +320,18 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                       "run-time error in a clean program: " ^ e.Heap.e_msg;
                   })
               dres.Rtcheck.errors;
-            List.iter
-              (fun (lk : Heap.leak) ->
-                push
-                  {
-                    f_kind = Harness_bug;
-                    f_class = Heap.leak_class lk;
-                    f_file =
-                      lk.Heap.lk_block.Heap.b_alloc_site.Cfront.Loc.file;
-                    f_detail = "leak in a clean program";
-                  })
-              dres.Rtcheck.leaks
+            if assess_leaks then
+              List.iter
+                (fun (lk : Heap.leak) ->
+                  push
+                    {
+                      f_kind = Harness_bug;
+                      f_class = Heap.leak_class lk;
+                      f_file =
+                        lk.Heap.lk_block.Heap.b_alloc_site.Cfront.Loc.file;
+                      f_detail = "leak in a clean program";
+                    })
+                dres.Rtcheck.leaks
           end
           else begin
             (* Seeded program.  Anchor on what the baseline observed. *)
@@ -335,6 +372,26 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                      && Progen.sb_file sb = file)
                    seeded
             in
+            (* Same metadata gate for the allocator-model and refcount
+               blind spots: the excuse only applies where a seeded bug of
+               the matching kind sits in the same file. *)
+            let realloc_spot file cls =
+              (not flags.Annot.Flags.alloc_model)
+              && List.exists
+                   (fun (sb : Progen.seeded) ->
+                     sb.Progen.sb_kind = Progen.Brealloc_lost
+                     && class_of_bug sb.Progen.sb_kind = cls
+                     && Progen.sb_file sb = file)
+                   seeded
+            in
+            let refcount_spot file cls =
+              List.exists
+                (fun (sb : Progen.seeded) ->
+                  sb.Progen.sb_kind = Progen.Brefcount_use
+                  && class_of_bug sb.Progen.sb_kind = cls
+                  && Progen.sb_file sb = file)
+                seeded
+            in
             List.iter
               (fun (e : Heap.error) ->
                 let cls = Heap.error_class e.Heap.e_kind in
@@ -365,6 +422,18 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                                  with +loopexec): %s"
                                 cls e.Heap.e_msg;
                           }
+                      else if refcount_spot file cls then
+                        push
+                          {
+                            f_kind = Blind_spot;
+                            f_class = "refcount-use";
+                            f_file = file;
+                            f_detail =
+                              Fmt.str
+                                "uncounted borrow outliving the counted \
+                                 reference (no recovery flag): %s"
+                                e.Heap.e_msg;
+                          }
                       else
                         push
                           {
@@ -376,6 +445,7 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                               ^ e.Heap.e_msg;
                           })
               dres.Rtcheck.errors;
+            if assess_leaks then
             List.iter
               (fun (lk : Heap.leak) ->
                 let cls = Heap.leak_class lk in
@@ -419,6 +489,17 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                            zero-or-one-times heuristic (recover with \
                            +loopexec)";
                       }
+                  else if realloc_spot file "leak" then
+                    push
+                      {
+                        f_kind = Blind_spot;
+                        f_class = "realloc-lost";
+                        f_file = file;
+                        f_detail =
+                          "pre-realloc block lost when the injected \
+                           allocation failure took the null branch \
+                           (recover with +allocmodel)";
+                      }
                   else
                     push
                       {
@@ -428,7 +509,10 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
                         f_detail = "leaked block with no static witness";
                       })
               dres.Rtcheck.leaks;
-            (* Metadata cross-check, both directions. *)
+            (* Metadata cross-check, both directions.  Skipped on OOM
+               runs: the expectations describe ordinary executions (the
+               static direction is identical across the sweep anyway). *)
+            if not oom then
             List.iter
               (fun (sb : Progen.seeded) ->
                 let cls = class_of_bug sb.Progen.sb_kind in
@@ -534,6 +618,54 @@ let gaps outcomes =
     (fun o ->
       List.filter (fun f -> f.f_kind <> Blind_spot) o.o_verdict.v_findings)
     outcomes
+
+(* ------------------------------------------------------------------ *)
+(* OOM fault-injection sweep *)
+
+(** Re-classify [p] once per heap allocation request, forcing that
+    request to fail ([limit] caps the schedule).  The request count
+    comes from an ordinary baseline run, so the schedule covers every
+    site the program actually reaches. *)
+let oom_sweep_program ?(flags = Annot.Flags.default) ?(max_steps = 200_000)
+    ?limit (p : Progen.program) : (int * verdict) list =
+  let base = Progen.dynamic_check ~flags ~max_steps p in
+  let n = base.Rtcheck.alloc_requests in
+  let n = match limit with Some l -> min l n | None -> n in
+  List.init n (fun i ->
+      let site = i + 1 in
+      Telemetry.Counter.tick Telemetry.c_difftest_trials;
+      (site, classify ~flags ~max_steps ~oom_fail:site p))
+
+let run_trial_oom ?(flags = Annot.Flags.default) ?limit (t : trial) :
+    (int * verdict) list =
+  match
+    Progen.generate ~seed:t.t_seed ~modules:t.t_modules
+      ~fns_per_module:t.t_fns ~bugs:t.t_bugs ~coverage:t.t_coverage ()
+  with
+  | exception e ->
+      [
+        ( 0,
+          {
+            v_findings =
+              [
+                {
+                  f_kind = Harness_bug;
+                  f_class = "crash";
+                  f_file = "<generator>";
+                  f_detail = "generator raised: " ^ Printexc.to_string e;
+                };
+              ];
+            v_static_reports = 0;
+            v_dynamic_errors = 0;
+            v_dynamic_leaks = 0;
+          } );
+      ]
+  | p -> oom_sweep_program ~flags ~max_steps:t.t_max_steps ?limit p
+
+let oom_gaps (sweep : (int * verdict) list) : finding list =
+  List.concat_map
+    (fun (_, v) -> List.filter (fun f -> f.f_kind <> Blind_spot) v.v_findings)
+    sweep
 
 (* ------------------------------------------------------------------ *)
 (* Reduction *)

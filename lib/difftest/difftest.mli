@@ -80,12 +80,20 @@ type verdict = {
 }
 
 val classify :
-  ?flags:Annot.Flags.t -> ?max_steps:int -> Progen.program -> verdict
+  ?flags:Annot.Flags.t -> ?max_steps:int -> ?oom_fail:int -> Progen.program ->
+  verdict
 (** Run both engines over [p] and classify the divergences.  Engine
     exceptions and unsupported-construct aborts become [Harness_bug]
     findings rather than escaping; step/error-limit aborts are expected
     terminations and the errors observed before the cut-off still
-    count. *)
+    count.
+
+    [oom_fail] forces heap allocation request #n to fail on the dynamic
+    side (the fault-injection sweep).  On such runs, end-of-run leaks
+    are assessed only when the program still exited 0 — a run that
+    bailed out of the injected failure legitimately leaves its held
+    blocks behind — and the seeded-metadata cross-check is skipped,
+    since its expectations describe ordinary executions. *)
 
 type outcome = { o_trial : trial; o_verdict : verdict }
 
@@ -100,6 +108,20 @@ val sweep :
 val gaps : outcome list -> finding list
 (** Soundness gaps, precision regressions and harness bugs across a
     sweep — everything except excused blind spots. *)
+
+val oom_sweep_program :
+  ?flags:Annot.Flags.t -> ?max_steps:int -> ?limit:int -> Progen.program ->
+  (int * verdict) list
+(** Classify [p] once per heap allocation request with that request
+    forced to fail ([limit] caps the schedule); the request count comes
+    from a baseline run, so the schedule covers every reached site. *)
+
+val run_trial_oom :
+  ?flags:Annot.Flags.t -> ?limit:int -> trial -> (int * verdict) list
+(** Generate a trial's program and run {!oom_sweep_program} on it. *)
+
+val oom_gaps : (int * verdict) list -> finding list
+(** Everything except excused blind spots, across an OOM sweep. *)
 
 (** {1 Reduction} *)
 

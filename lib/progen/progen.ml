@@ -42,12 +42,30 @@ type bug_kind =
   | Bloop_null_deref
       (** pointer re-nulled inside a loop, dereferenced on a later
           iteration *)
+  | Brealloc_lost
+      (** [p = realloc(p, n)]: the only reference overwritten with a
+          result that may be null — storage lost exactly when the
+          allocation fails (caught under [+allocmodel]; manifests
+          dynamically only under OOM injection) *)
+  | Boom_leak
+      (** held storage leaked on the bail path of a later allocation
+          failure (static catches the unreleased path; manifests
+          dynamically only under OOM injection) *)
+  | Brefcount_leak
+      (** a [newref] function returns storage with no reference to give
+          out: the count balance is broken (static-only; no run-time
+          manifestation) *)
+  | Brefcount_use
+      (** a borrowed (uncounted) reference stashed through a helper
+          outlives the last counted reference: use after free at run
+          time, invisible to the intraprocedural checker *)
 
 let all_bug_kinds =
   [
     Bleak; Buse_after_free; Bdouble_free; Bnull_deref; Buse_undef;
     Bfree_offset; Bfree_static; Bglobal_leak; Bloop_leak;
-    Bloop_use_after_free; Bloop_null_deref;
+    Bloop_use_after_free; Bloop_null_deref; Brealloc_lost; Boom_leak;
+    Brefcount_leak; Brefcount_use;
   ]
 
 let bug_kind_string = function
@@ -62,6 +80,10 @@ let bug_kind_string = function
   | Bloop_leak -> "loop-leak"
   | Bloop_use_after_free -> "loop-use-after-free"
   | Bloop_null_deref -> "loop-null-deref"
+  | Brealloc_lost -> "realloc-lost"
+  | Boom_leak -> "oom-leak"
+  | Brefcount_leak -> "refcount-leak"
+  | Brefcount_use -> "refcount-use"
 
 (** Does this bug class need a loop back edge to manifest?  These are
     invisible to the paper's zero-or-one-times loop heuristic and only
@@ -69,7 +91,19 @@ let bug_kind_string = function
 let loop_carried = function
   | Bloop_leak | Bloop_use_after_free | Bloop_null_deref -> true
   | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
-  | Bfree_offset | Bfree_static | Bglobal_leak ->
+  | Bfree_offset | Bfree_static | Bglobal_leak | Brealloc_lost | Boom_leak
+  | Brefcount_leak | Brefcount_use ->
+      false
+
+(** Does this bug class only manifest dynamically when an allocation is
+    forced to fail (the OOM fault-injection sweep)?  These hide on the
+    untaken failure path of every ordinary run. *)
+let oom_carried = function
+  | Brealloc_lost | Boom_leak -> true
+  | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
+  | Bfree_offset | Bfree_static | Bglobal_leak | Bloop_leak
+  | Bloop_use_after_free | Bloop_null_deref | Brefcount_leak | Brefcount_use
+    ->
       false
 
 (** One seeded bug: which function carries it, and whether the generated
@@ -125,7 +159,17 @@ let expected_static ~(flags : Annot.Flags.t) = function
       (* loop-carried: needs the [+loopexec] fixpoint to see the back
          edge *)
       flags.Annot.Flags.loop_exec
-  | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef -> true
+  | Brealloc_lost ->
+      (* needs the path-sensitive allocator model to see that the old
+         block is still allocated on realloc's failure branch *)
+      flags.Annot.Flags.alloc_model
+  | Brefcount_use ->
+      (* the stale borrow travels through a helper's global: invisible
+         to the intraprocedural analysis under any flags *)
+      false
+  | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
+  | Boom_leak | Brefcount_leak ->
+      true
 
 (** What the run-time baseline observes for this class when the driver
     executes (or skips) the carrier.  [`Error] is a detected heap error,
@@ -135,9 +179,14 @@ let expected_static ~(flags : Annot.Flags.t) = function
 let expected_dynamic ~(executed : bool) = function
   | _ when not executed -> `Nothing
   | Bnull_deref -> `Nothing
+  | Brealloc_lost | Boom_leak ->
+      (* the failure path is untaken unless an allocation is injected to
+         fail: see {!oom_carried} and the OOM sweep *)
+      `Nothing
+  | Brefcount_leak -> `Nothing
   | Bleak | Bglobal_leak | Bloop_leak -> `Leak
   | Buse_after_free | Bdouble_free | Buse_undef | Bfree_offset | Bfree_static
-  | Bloop_use_after_free | Bloop_null_deref ->
+  | Bloop_use_after_free | Bloop_null_deref | Brefcount_use ->
       `Error
 
 (* ------------------------------------------------------------------ *)
@@ -350,7 +399,52 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
           pf "    if (i == 1) {\n      free(p);\n      p = NULL;\n    }\n";
           pf "    i = i + 1;\n";
           pf "  }\n";
-          pf "  if (p != NULL) {\n    free(p);\n  }\n}\n\n"));
+          pf "  if (p != NULL) {\n    free(p);\n  }\n}\n\n"
+      | Brealloc_lost ->
+          (* the only reference is overwritten with the realloc result:
+             nothing leaks while realloc succeeds, but the old block is
+             lost exactly when the allocation fails (return instead of
+             exit, so an injected failure still reaches the end-of-run
+             leak report) *)
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *p = (char *) malloc(1);\n";
+          pf "  if (p == NULL) {\n    return;\n  }\n";
+          pf "  p[0] = 'x';\n";
+          pf "  p = (char *) realloc(p, 2);\n";
+          pf "  if (p == NULL) {\n    return;\n  }\n";
+          pf "  p[0] = 'y';\n";
+          pf "  free(p);\n}\n\n"
+      | Boom_leak ->
+          (* the bail path of the second allocation forgets the first
+             block; only an injected failure takes that path *)
+          pf "void %s(void)\n{\n" fn;
+          pf "  char *a = (char *) malloc(1);\n";
+          pf "  char *b;\n";
+          pf "  if (a == NULL) {\n    return;\n  }\n";
+          pf "  a[0] = 'a';\n";
+          pf "  b = (char *) malloc(1);\n";
+          pf "  if (b == NULL) {\n    return;\n  }\n";
+          pf "  b[0] = 'b';\n";
+          pf "  free(a);\n";
+          pf "  free(b);\n}\n\n"
+      | Brefcount_leak ->
+          (* a newref result with no reference behind it: the count
+             balance is broken at the return *)
+          pf "%schar *%s(void)\n{\n" (an "/*@newref@*/") fn;
+          pf "  return \"%s-tag\";\n}\n\n" m
+      | Brefcount_use ->
+          (* the helper stashes an uncounted borrow in a global; the
+             borrow outlives the only counted reference *)
+          pf "static %s%s_rec *%s_borrowed;\n\n"
+            (an "/*@null@*/ /*@dependent@*/") m m;
+          pf "void %s_stash(%s%s_rec *r)\n{\n" m (an "/*@dependent@*/") m;
+          pf "  %s_borrowed = r;\n}\n\n" m;
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = %s_create(6);\n" m m;
+          pf "  %s_stash(r);\n" m;
+          pf "  %s_destroy(r);\n" m;
+          pf "  if (%s_borrowed != NULL) {\n" m;
+          pf "    %s_borrowed->weight = 2;\n  }\n}\n\n" m));
   (Buffer.contents b, !carriers)
 
 (* ------------------------------------------------------------------ *)
@@ -454,8 +548,9 @@ let static_check ?(flags = Annot.Flags.default) (p : program) :
   { Check.program = prog; reports = kept; suppressed }
 
 (** Run a generated program under the run-time checker.  [max_steps]
-    bounds execution (the fuzzer's [-timeout-steps]). *)
-let dynamic_check ?(flags = Annot.Flags.default) ?max_steps (p : program) :
-    Rtcheck.result =
+    bounds execution (the fuzzer's [-timeout-steps]); [oom_fail] forces
+    heap allocation request #n to fail (the OOM injection sweep). *)
+let dynamic_check ?(flags = Annot.Flags.default) ?max_steps ?oom_fail
+    (p : program) : Rtcheck.result =
   let prog = analyse ~flags p in
-  Rtcheck.run ?max_steps prog
+  Rtcheck.run ?max_steps ?oom_fail prog

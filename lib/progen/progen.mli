@@ -20,6 +20,13 @@ type bug_kind =
   | Bloop_leak  (** alloc per iteration, freed once after the loop *)
   | Bloop_use_after_free  (** released in the body, used across the back edge *)
   | Bloop_null_deref  (** re-nulled mid-loop, dereferenced next iteration *)
+  | Brealloc_lost
+      (** [p = realloc(p, n)] — lost exactly when the allocation fails;
+          caught statically under [+allocmodel] *)
+  | Boom_leak  (** held storage leaked on an allocation-failure bail path *)
+  | Brefcount_leak  (** [newref] return with no reference behind it *)
+  | Brefcount_use
+      (** a stashed uncounted borrow outlives the counted reference *)
 
 val all_bug_kinds : bug_kind list
 val bug_kind_string : bug_kind -> string
@@ -28,6 +35,11 @@ val loop_carried : bug_kind -> bool
 (** Needs a loop back edge to manifest — invisible to the paper's
     zero-or-one-times heuristic, statically detectable only under
     [+loopexec]. *)
+
+val oom_carried : bug_kind -> bool
+(** Manifests dynamically only when an allocation is forced to fail
+    (the OOM fault-injection sweep); every ordinary run hides it on the
+    untaken failure path. *)
 
 type seeded = {
   sb_kind : bug_kind;
@@ -53,8 +65,8 @@ val of_files : ?seeded:seeded list -> (string * string) list -> program
 val expected_static : flags:Annot.Flags.t -> bug_kind -> bool
 (** Should the static checker flag this bug class under [flags]?
     [false] exactly for the declared blind spots: [Bfree_offset] /
-    [Bfree_static] without their recovery flags, and [Bglobal_leak]
-    always. *)
+    [Bfree_static] / [Bloop_*] / [Brealloc_lost] without their recovery
+    flags, and [Bglobal_leak] / [Brefcount_use] always. *)
 
 val expected_dynamic : executed:bool -> bug_kind -> [ `Error | `Leak | `Nothing ]
 (** What the run-time baseline observes: a heap error, an end-of-run
@@ -73,5 +85,8 @@ val analyse : ?flags:Annot.Flags.t -> program -> Sema.program
 val static_check : ?flags:Annot.Flags.t -> program -> Check.result
 
 val dynamic_check :
-  ?flags:Annot.Flags.t -> ?max_steps:int -> program -> Rtcheck.result
-(** [max_steps] bounds the interpreter (the fuzzer's [-timeout-steps]). *)
+  ?flags:Annot.Flags.t -> ?max_steps:int -> ?oom_fail:int -> program ->
+  Rtcheck.result
+(** [max_steps] bounds the interpreter (the fuzzer's [-timeout-steps]);
+    [oom_fail] forces heap allocation request #n to fail once (the OOM
+    injection sweep). *)

@@ -52,6 +52,10 @@ type state = {
   max_steps : int;
   max_errors : int;
   mutable rng : int;  (** deterministic pseudo-random state for [rand] *)
+  mutable alloc_requests : int;
+      (** heap allocation requests seen so far (1-based when gating) *)
+  oom_fail : int option;
+      (** fail exactly this allocation request (fault injection) *)
 }
 
 let step st ~loc =
@@ -709,39 +713,60 @@ and call_builtin st name (args : Ast.expr list) ~loc : slot =
         Heap.report st.heap (Ebad_arg what) ~loc "non-pointer passed to %s" what;
         None
   in
+  (* Every heap allocation goes through this gate: the fault-injection
+     schedule can force any single request to fail, modeling OOM. *)
+  let heap_alloc ~size =
+    st.alloc_requests <- st.alloc_requests + 1;
+    match st.oom_fail with
+    | Some n when n = st.alloc_requests ->
+        Telemetry.Counter.tick Telemetry.c_oom_injections;
+        None
+    | _ -> Some (Heap.alloc st.heap ~kind:Kheap ~size ~loc)
+  in
+  let fresh_block ~size =
+    match heap_alloc ~size with Some p -> Sptr p | None -> Snull
+  in
+  let zeroed_block ~size =
+    match heap_alloc ~size with
+    | None -> Snull
+    | Some p ->
+        (match Heap.find st.heap p.p_block with
+        | Some b -> Array.fill b.b_slots 0 (Array.length b.b_slots) (Sint 0L)
+        | None -> ());
+        Sptr p
+  in
+  let realloc_impl ~what n =
+    match val_arg 0 with
+    | Snull -> fresh_block ~size:n
+    | Sptr p -> (
+        match Heap.find st.heap p.p_block with
+        | Some b when b.b_live && p.p_off = 0 -> (
+            match heap_alloc ~size:n with
+            | None -> Snull (* injected failure: the old block survives *)
+            | Some np ->
+                (match Heap.find st.heap np.p_block with
+                | Some nb -> Array.blit b.b_slots 0 nb.b_slots 0 (min b.b_size n)
+                | None -> ());
+                Heap.free st.heap p ~loc;
+                Sptr np)
+        | _ ->
+            Heap.free st.heap p ~loc (* reports the right error *);
+            Snull)
+    | _ ->
+        Heap.report st.heap (Ebad_arg what) ~loc "bad pointer passed to %s" what;
+        Snull
+  in
   match name with
-  | "malloc" ->
-      let n = Int64.to_int (int_arg 0) in
-      Sptr (Heap.alloc st.heap ~kind:Kheap ~size:n ~loc)
+  | "malloc" -> fresh_block ~size:(Int64.to_int (int_arg 0))
+  | "aligned_alloc" ->
+      (* alignment (arg 0) does not matter to the slot-based heap model *)
+      fresh_block ~size:(Int64.to_int (int_arg 1))
   | "calloc" ->
-      let n = Int64.to_int (int_arg 0) * Int64.to_int (int_arg 1) in
-      let p = Heap.alloc st.heap ~kind:Kheap ~size:n ~loc in
-      (match Heap.find st.heap p.p_block with
-      | Some b -> Array.fill b.b_slots 0 (Array.length b.b_slots) (Sint 0L)
-      | None -> ());
-      Sptr p
-  | "realloc" -> (
-      let n = Int64.to_int (int_arg 1) in
-      match val_arg 0 with
-      | Snull -> Sptr (Heap.alloc st.heap ~kind:Kheap ~size:n ~loc)
-      | Sptr p -> (
-          match Heap.find st.heap p.p_block with
-          | Some b when b.b_live && p.p_off = 0 ->
-              let np = Heap.alloc st.heap ~kind:Kheap ~size:n ~loc in
-              (match Heap.find st.heap np.p_block with
-              | Some nb ->
-                  Array.blit b.b_slots 0 nb.b_slots 0
-                    (min b.b_size n)
-              | None -> ());
-              Heap.free st.heap p ~loc;
-              Sptr np
-          | _ ->
-              Heap.free st.heap p ~loc (* reports the right error *);
-              Snull)
-      | _ ->
-          Heap.report st.heap (Ebad_arg "realloc") ~loc
-            "bad pointer passed to realloc";
-          Snull)
+      zeroed_block ~size:(Int64.to_int (int_arg 0) * Int64.to_int (int_arg 1))
+  | "realloc" -> realloc_impl ~what:"realloc" (Int64.to_int (int_arg 1))
+  | "reallocarray" ->
+      realloc_impl ~what:"reallocarray"
+        (Int64.to_int (int_arg 1) * Int64.to_int (int_arg 2))
   | "free" -> (
       match val_arg 0 with
       | Snull -> Snull (* ANSI allows free(NULL) *)
@@ -802,13 +827,13 @@ and call_builtin st name (args : Ast.expr list) ~loc : slot =
           Sint 0L)
   | "strdup" -> (
       match ptr_arg 0 with
-      | Some p ->
+      | Some p -> (
           let s = read_cstring st p ~loc in
-          let np =
-            Heap.alloc st.heap ~kind:Kheap ~size:(String.length s + 1) ~loc
-          in
-          write_cstring st np s ~loc;
-          Sptr np
+          match heap_alloc ~size:(String.length s + 1) with
+          | None -> Snull
+          | Some np ->
+              write_cstring st np s ~loc;
+              Sptr np)
       | None ->
           Heap.report st.heap Enull_deref ~loc "null passed to strdup";
           Snull)

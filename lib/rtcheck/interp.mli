@@ -43,6 +43,10 @@ type state = {
   max_steps : int;
   max_errors : int;
   mutable rng : int;
+  mutable alloc_requests : int;
+      (** heap allocation requests seen so far (1-based when gating) *)
+  oom_fail : int option;
+      (** fail exactly this allocation request (OOM fault injection) *)
 }
 
 val eval : state -> Cfront.Ast.expr -> Heap.slot

@@ -37,14 +37,19 @@ type result = {
   steps : int;
   heap_allocs : int;
   heap_frees : int;
+  alloc_requests : int;
+      (** heap allocation requests seen, including any injected failure;
+          sizes an OOM fault-injection sweep *)
   profile : (Cfront.Loc.t * Heap.site_stats) list;
       (** mprof-style per-site allocation statistics, heaviest first *)
 }
 
 (** Interpret [prog] starting from [entry] (default ["main"]).
-    [max_steps] bounds execution so looping programs terminate. *)
+    [max_steps] bounds execution so looping programs terminate.
+    [oom_fail] forces heap allocation request #n (1-based) to fail once,
+    exercising the out-of-memory paths static checking reasons about. *)
 let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
-    (prog : Sema.program) : result =
+    ?oom_fail (prog : Sema.program) : result =
   let heap = Heap.create () in
   let st =
     {
@@ -59,6 +64,8 @@ let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
       max_steps;
       max_errors;
       rng = 1;
+      alloc_requests = 0;
+      oom_fail;
     }
   in
   (* function definitions *)
@@ -125,20 +132,22 @@ let run ?(entry = "main") ?(max_steps = 2_000_000) ?(max_errors = 100)
     steps = st.Interp.steps;
     heap_allocs = heap.Heap.heap_allocs;
     heap_frees = heap.Heap.heap_frees;
+    alloc_requests = st.Interp.alloc_requests;
     profile = Heap.profile_rows heap;
   }
 
 (** Parse, analyse and run a single source string against the standard
     library environment provided by the caller. *)
 let run_source ?(flags = Annot.Flags.default) ?entry ?max_steps ?max_errors
-    ~(stdlib_env : unit -> Sema.program) ~file (src : string) : result =
+    ?oom_fail ~(stdlib_env : unit -> Sema.program) ~file (src : string) :
+    result =
   let prog = stdlib_env () in
   let typedefs =
     Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
   in
   let tu = Parser.parse_string ~typedefs ~file src in
   ignore (Sema.analyze ~flags ~into:prog tu);
-  run ?entry ?max_steps ?max_errors prog
+  run ?entry ?max_steps ?max_errors ?oom_fail prog
 
 (** Render a result summary (used by the CLI and examples). *)
 let pp_summary ppf (r : result) =

@@ -30,17 +30,24 @@ type result = {
   steps : int;
   heap_allocs : int;
   heap_frees : int;
+  alloc_requests : int;
+      (** heap allocation requests seen, including any injected failure;
+          sizes an OOM fault-injection sweep *)
   profile : (Cfront.Loc.t * Heap.site_stats) list;  (** heaviest first *)
 }
 
 val run :
-  ?entry:string -> ?max_steps:int -> ?max_errors:int -> Sema.program -> result
+  ?entry:string -> ?max_steps:int -> ?max_errors:int -> ?oom_fail:int ->
+  Sema.program -> result
 (** Interpret [prog] from [entry] (default ["main"]); [max_steps] bounds
-    execution so looping programs terminate. *)
+    execution so looping programs terminate.  [oom_fail] forces heap
+    allocation request #n (1-based) to fail once — OOM fault injection
+    for the out-of-memory paths static checking reasons about. *)
 
 val run_source :
   ?flags:Annot.Flags.t -> ?entry:string -> ?max_steps:int -> ?max_errors:int ->
-  stdlib_env:(unit -> Sema.program) -> file:string -> string -> result
+  ?oom_fail:int -> stdlib_env:(unit -> Sema.program) -> file:string -> string ->
+  result
 (** Parse, analyse and run one source string in the given library
     environment. *)
 

@@ -356,9 +356,16 @@ let funsig_of_decl p ~(name : string) ~(ft : Ctype.cfun)
     ~defined ~loc : funsig =
   let mk_param i (pa : Ast.param) ty : param =
     let set = annot_set p ~loc:pa.Ast.p_loc pa.Ast.p_annots in
+    let pr_name =
+      match pa.Ast.p_name with
+      | Some n -> n
+      | None -> Printf.sprintf "arg%d" (i + 1)
+    in
+    (match Annot.validate ~slot:(Annot.Sparam pr_name) set with
+    | Some msg -> diag p ~loc:pa.Ast.p_loc ~code:"annot" "%s" msg
+    | None -> ());
     {
-      pr_name =
-        (match pa.Ast.p_name with Some n -> n | None -> Printf.sprintf "arg%d" (i + 1));
+      pr_name;
       pr_ty = ty;
       pr_annots = effective_annots p ~ctx:Aparam ~ty set;
       pr_loc = pa.Ast.p_loc;
@@ -369,6 +376,9 @@ let funsig_of_decl p ~(name : string) ~(ft : Ctype.cfun)
       (fun i (pa, ty) -> mk_param i pa ty)
       (List.combine params ft.Ctype.cf_params)
   in
+  (match Annot.validate ~slot:(Annot.Sreturn name) annots with
+  | Some msg -> diag p ~loc ~code:"annot" "%s" msg
+  | None -> ());
   let ret_annots = effective_annots p ~ctx:Areturn ~ty:ft.Ctype.cf_ret annots in
   let globals =
     List.map

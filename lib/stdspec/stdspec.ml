@@ -27,7 +27,9 @@ enum { FALSE = 0, TRUE = 1, EXIT_SUCCESS = 0, EXIT_FAILURE = 1, EOF = -1 };
 /* --- memory management (paper, Section 4) --- */
 extern /*@null@*/ /*@out@*/ /*@only@*/ void *malloc(size_t size);
 extern /*@null@*/ /*@only@*/ void *calloc(size_t nmemb, size_t size);
+extern /*@null@*/ /*@out@*/ /*@only@*/ void *aligned_alloc(size_t alignment, size_t size);
 extern /*@null@*/ /*@only@*/ void *realloc(/*@null@*/ /*@only@*/ void *ptr, size_t size);
+extern /*@null@*/ /*@only@*/ void *reallocarray(/*@null@*/ /*@only@*/ void *ptr, size_t nmemb, size_t size);
 extern void free(/*@null@*/ /*@out@*/ /*@only@*/ void *ptr);
 
 /* --- program termination --- */
@@ -116,7 +118,9 @@ typedef unsigned long size_t;
 
 null out only void *malloc(size_t size);
 null only void *calloc(size_t nmemb, size_t size);
+null out only void *aligned_alloc(size_t alignment, size_t size);
 null only void *realloc(null only void *ptr, size_t size);
+null only void *reallocarray(null only void *ptr, size_t nmemb, size_t size);
 void free(null out only void *ptr);
 
 exits void exit(int status);

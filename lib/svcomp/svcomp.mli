@@ -1,0 +1,57 @@
+(** SV-COMP MemSafety task adapter: a yardstick that scores the static
+    checker against a directory of single-file verification tasks in
+    the SV-COMP layout (a [.c] file described by a [.yml] record with
+    an expected verdict).
+
+    The MemSafety property splits into the three standard
+    subproperties: [valid-deref] (no invalid dereference), [valid-free]
+    (no invalid deallocation), [valid-memtrack] (all allocated memory
+    is tracked and released).  A task's [.yml] names the subproperty
+    the expected-[false] verdict violates.
+
+    Scoring is deliberately conservative: the checker claims [Vfalse]
+    when it reports a diagnostic witnessing the task's subproperty,
+    [Vtrue] when it reports nothing at all, and [Vunknown] when the
+    task cannot be analysed (parse failure, unsupported construct) or
+    when the only reports are outside the subproperty.  The soundness
+    gate is: no [Vtrue] on an expected-[false] task. *)
+
+type task = {
+  t_name : string;  (** yml basename without extension *)
+  t_file : string;  (** path to the C input file *)
+  t_expected : bool;  (** the expected verdict *)
+  t_subproperty : string option;
+      (** [valid-deref] / [valid-free] / [valid-memtrack]; [None] means
+          any MemSafety violation *)
+}
+
+val load_dir : string -> (task list, string) result
+(** Scan a directory for [*.yml] task records (sorted by name).  A
+    record needs [input_files] and an [expected_verdict]; relative
+    input paths resolve against the directory. *)
+
+type verdict = Vtrue | Vfalse | Vunknown
+
+val verdict_string : verdict -> string
+
+type scored = {
+  s_task : task;
+  s_verdict : verdict;
+  s_codes : string list;  (** diagnostic codes behind a [Vfalse] *)
+  s_detail : string;  (** why, for [Vunknown] *)
+}
+
+val run_task : ?flags:Annot.Flags.t -> task -> scored
+(** Analyse one task file in a fresh standard-library environment and
+    score the checker's verdict against the subproperty. *)
+
+type summary = {
+  n_tasks : int;
+  n_correct_true : int;  (** expected true, claimed true *)
+  n_correct_false : int;  (** expected false, claimed false *)
+  n_unsound : int;  (** expected false, claimed TRUE — must be zero *)
+  n_imprecise : int;  (** expected true, claimed false *)
+  n_unknown : int;
+}
+
+val summarize : scored list -> summary

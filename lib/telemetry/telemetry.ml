@@ -219,6 +219,7 @@ let c_incr_hits = Counter.make "incr_hits"
 let c_incr_misses = Counter.make "incr_misses"
 let c_incr_invalidations = Counter.make "incr_invalidations"
 let c_incr_rechecked = Counter.make "incr_rechecked"
+let c_oom_injections = Counter.make "oom_injections"
 
 let registered_counters () =
   let names = Array.to_list (Counter.registry_snapshot ()) in

@@ -173,6 +173,10 @@ val c_incr_rechecked : Counter.t
 (** Functions actually re-checked by the incremental service (misses
     that were not satisfied by the persisted key cache). *)
 
+val c_oom_injections : Counter.t
+(** Heap allocation requests forced to fail by the runtime checker's
+    OOM fault-injection schedule. *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
 

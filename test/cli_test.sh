@@ -300,7 +300,7 @@ expect_contains "$tmp/out" "blind-spot" "oldiff -verbose prints excused divergen
 "$OLDIFF" --bogus-flag > "$tmp/out" 2>&1
 [ $? -eq 124 ] || fail "oldiff unknown flag should exit 124 (cli error)"
 
-"$OLDIFF" -seed 6 -runs 1 -reduce "$tmp/redux" > "$tmp/out" 2>&1 \
+"$OLDIFF" -seed 3 -runs 1 -reduce "$tmp/redux" > "$tmp/out" 2>&1 \
   || fail "oldiff -reduce should exit 0 on blind-spot-only divergences"
 ls "$tmp/redux"/*.c > /dev/null 2>&1 || fail "oldiff -reduce should write a reproducer"
 ls "$tmp/redux"/*.json > /dev/null 2>&1 || fail "oldiff -reduce should write a triage record"
@@ -367,6 +367,81 @@ cmp -s "$tmp/out" "$tmp/out2" || fail "oldiff -f +loopexec must match bare +loop
 "$OLDIFF" -seed 6 -runs 1 +loopexce > "$tmp/out" 2>&1
 [ $? -eq 2 ] || fail "oldiff unknown +loopexce should exit 2"
 expect_contains "$tmp/out" "did you mean 'loopexec'?" "oldiff +loopexce suggestion"
+
+# --- +allocmodel: the path-sensitive allocator model ------------------------
+cat > "$tmp/lost.c" <<'EOF'
+void f(void)
+{
+  char *p = (char *) malloc(1);
+  if (p == NULL) {
+    exit(1);
+  }
+  p[0] = 'x';
+  p = (char *) realloc(p, 2);
+  if (p == NULL) {
+    exit(1);
+  }
+  free(p);
+}
+EOF
+
+# the lost-pointer realloc is invisible to the annotation-only model...
+"$OLCLINT" "$tmp/lost.c" > "$tmp/out" 2>&1 \
+  || fail "p = realloc(p, n) should be silent under default flags"
+# ...caught by the bare +allocmodel spelling...
+"$OLCLINT" +allocmodel "$tmp/lost.c" > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "+allocmodel should flag the lost realloc pointer"
+expect_contains "$tmp/out" "realloc" "+allocmodel realloc-lost message"
+expect_contains "$tmp/out" "storage is lost if the allocation fails" \
+  "+allocmodel realloc-lost detail"
+# ...and by the -f spelling
+"$OLCLINT" -f +allocmodel "$tmp/lost.c" > "$tmp/out2" 2>&1
+cmp -s "$tmp/out" "$tmp/out2" || fail "-f +allocmodel must match bare +allocmodel"
+
+# the tmp idiom stays clean under the model
+cat > "$tmp/tmpok.c" <<'EOF'
+void f(void)
+{
+  char *p = (char *) malloc(1);
+  char *tmp;
+  if (p == NULL) {
+    exit(1);
+  }
+  p[0] = 'x';
+  tmp = (char *) realloc(p, 2);
+  if (tmp == NULL) {
+    free(p);
+    exit(1);
+  }
+  p = tmp;
+  free(p);
+}
+EOF
+"$OLCLINT" +allocmodel "$tmp/tmpok.c" > "$tmp/out" 2>&1 \
+  || fail "+allocmodel must keep the tmp = realloc(p, n) idiom clean"
+
+# a typo'd spelling gets a suggestion
+"$OLCLINT" +alocmodel "$tmp/lost.c" > "$tmp/out" 2>&1
+[ $? -eq 2 ] || fail "unknown +alocmodel should exit 2"
+expect_contains "$tmp/out" "did you mean 'allocmodel'?" "+alocmodel suggestion"
+
+# --- olcrun -oom: fault injection -------------------------------------------
+# an ordinary run of the lost-realloc program is clean...
+"$OLCRUN" "$tmp/lost.c" --entry f > "$tmp/out" 2>&1 \
+  || fail "lost.c should run cleanly without injection"
+# ...failing the second allocation request (the realloc) leaks the block
+"$OLCRUN" -oom 2 "$tmp/lost.c" --entry f > "$tmp/out" 2>&1
+[ $? -eq 1 ] || fail "olcrun -oom 2 should observe the lost-realloc leak"
+expect_contains "$tmp/out" "leak" "olcrun -oom leak report"
+# failing the first (the malloc) takes the handled bail-out path
+"$OLCRUN" -oom 1 "$tmp/lost.c" --entry f > "$tmp/out" 2>&1 \
+  || fail "olcrun -oom 1 should exit through the handled malloc failure"
+
+# --- oldiff -oom: the fault-injection sweep ---------------------------------
+"$OLDIFF" -oom -seed 42 -runs 2 > "$tmp/out" 2>&1 \
+  || fail "oldiff -oom smoke should exit 0"
+expect_contains "$tmp/out" "injected allocation failure" "oldiff -oom summary"
+expect_contains "$tmp/out" "0 findings kept" "oldiff -oom keeps no findings"
 
 # --- incremental server: -server / -cache -----------------------------------
 check_req="{\"op\":\"check\",\"files\":[\"$EXAMPLES/sample.c\"]}"

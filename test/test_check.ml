@@ -627,6 +627,35 @@ let test_refcount_incompatible_annots () =
   in
   Alcotest.(check bool) "killref+tempref rejected" true (has_code r "annot")
 
+(* [Annot.validate] rejects reference-count annotations on the wrong
+   slot with a message naming that slot *)
+let test_newref_on_param () =
+  let r =
+    check
+      "typedef struct _x { int n; } *x;\n\
+       extern void bad(/*@newref@*/ x v);"
+  in
+  Alcotest.(check bool) "newref on a parameter rejected" true
+    (has_code r "annot");
+  Alcotest.(check string) "message names the parameter"
+    "newref declared on parameter v: newref describes a returned \
+     reference (a parameter reference is consumed with killref or \
+     borrowed with tempref)"
+    (first_message r)
+
+let test_killref_on_return () =
+  let r =
+    check
+      "typedef struct _x { int n; } *x;\n\
+       extern /*@killref@*/ x bad(void);"
+  in
+  Alcotest.(check bool) "killref on a return slot rejected" true
+    (has_code r "annot");
+  Alcotest.(check string) "message names the function"
+    "killref declared on the return value of bad: killref consumes a \
+     parameter reference (a returned new reference is declared newref)"
+    (first_message r)
+
 let refcount_tests =
   [
     Alcotest.test_case "balanced" `Quick test_refcount_balanced;
@@ -635,6 +664,168 @@ let refcount_tests =
     Alcotest.test_case "tempref" `Quick test_refcount_tempref_no_consume;
     Alcotest.test_case "killref param" `Quick test_refcount_killref_param;
     Alcotest.test_case "incompatible" `Quick test_refcount_incompatible_annots;
+    Alcotest.test_case "newref on param" `Quick test_newref_on_param;
+    Alcotest.test_case "killref on return" `Quick test_killref_on_return;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The allocator model (+allocmodel): path-sensitive realloc           *)
+(* ------------------------------------------------------------------ *)
+
+(* [p = realloc(p, n)] with [p] the only live reference: on the
+   NULL-return branch the old block is still allocated but its last
+   reference is gone.  Under the paper's only/null modeling the [only]
+   argument is consumed on every path, so the defaults stay silent; the
+   allocator model reports it as [realloclost]. *)
+let lost_realloc_src =
+  "void f(void) {\n\
+  \  char *p = (char *) malloc(1);\n\
+  \  if (p == NULL) { exit(1); }\n\
+  \  p[0] = 'x';\n\
+  \  p = (char *) realloc(p, 2);\n\
+  \  if (p == NULL) { exit(1); }\n\
+  \  free(p);\n\
+   }\n"
+
+let am_flags = { Flags.default with Flags.alloc_model = true }
+
+let test_allocmodel_realloc_lost () =
+  check_codes ~flags:Flags.default "missed by default" [] lost_realloc_src;
+  let r = check ~flags:am_flags lost_realloc_src in
+  Alcotest.(check (list string)) "codes" [ "realloclost" ] (codes r);
+  match r.Check.reports with
+  | [ d ] -> (
+      Alcotest.(check string) "message"
+        "Last reference p to the pre-realloc block overwritten with the \
+         result of realloc: storage is lost if the allocation fails \
+         (memory leak)"
+        d.Cfront.Diag.text;
+      Alcotest.(check int) "line" 5 d.Cfront.Diag.loc.Cfront.Loc.line;
+      match d.Cfront.Diag.notes with
+      | [ n ] ->
+          Alcotest.(check string) "note"
+            "Result of realloc may be null while storage p is still \
+             allocated"
+            n.Cfront.Diag.ntext
+      | _ -> Alcotest.fail "expected one note")
+  | _ -> Alcotest.fail "expected one report"
+
+let test_allocmodel_realloc_tmp_ok () =
+  (* the idiomatic fix keeps a second reference across the call *)
+  check_codes ~flags:am_flags "tmp idiom stays clean" []
+    "void f(void) {\n\
+    \  char *p = (char *) malloc(1);\n\
+    \  char *tmp;\n\
+    \  if (p == NULL) { exit(1); }\n\
+    \  p[0] = 'x';\n\
+    \  tmp = (char *) realloc(p, 2);\n\
+    \  if (tmp == NULL) { free(p); exit(1); }\n\
+    \  p = tmp;\n\
+    \  free(p);\n\
+     }\n"
+
+let test_allocmodel_reallocarray_lost () =
+  let r =
+    check ~flags:am_flags
+      "void f(void) {\n\
+      \  char *p = (char *) malloc(1);\n\
+      \  if (p == NULL) { exit(1); }\n\
+      \  p[0] = 'x';\n\
+      \  p = (char *) reallocarray(p, 2, 1);\n\
+      \  if (p == NULL) { exit(1); }\n\
+      \  free(p);\n\
+       }\n"
+  in
+  Alcotest.(check (list string)) "codes" [ "realloclost" ] (codes r);
+  Alcotest.(check string) "message names reallocarray"
+    "Last reference p to the pre-realloc block overwritten with the \
+     result of reallocarray: storage is lost if the allocation fails \
+     (memory leak)"
+    (first_message r)
+
+let test_calloc_zero_bookkeeping () =
+  (* calloc's result arrives zeroed, so reading it is defined ... *)
+  check_codes "calloc result readable" []
+    "int g(void) {\n\
+    \  int *p = (int *) calloc(4, sizeof(int));\n\
+    \  int v;\n\
+    \  if (p == NULL) { exit(1); }\n\
+    \  v = *p;\n\
+    \  free(p);\n\
+    \  return v;\n\
+     }\n";
+  (* ... while malloc's does not *)
+  let r =
+    check
+      "int g(void) {\n\
+      \  int *p = (int *) malloc(16);\n\
+      \  int v;\n\
+      \  if (p == NULL) { exit(1); }\n\
+      \  v = *p;\n\
+      \  free(p);\n\
+      \  return v;\n\
+       }\n"
+  in
+  Alcotest.(check bool) "malloc result undefined" true (has_code r "usedef")
+
+let test_aligned_alloc_modeled () =
+  check_codes "aligned_alloc alloc/free balanced" []
+    "void f(void) {\n\
+    \  char *p = (char *) aligned_alloc(16, 32);\n\
+    \  if (p == NULL) { exit(1); }\n\
+    \  p[0] = 'x';\n\
+    \  free(p);\n\
+     }\n";
+  let r =
+    check
+      "void f(void) {\n\
+      \  char *p = (char *) aligned_alloc(16, 32);\n\
+      \  if (p == NULL) { exit(1); }\n\
+      \  p[0] = 'x';\n\
+       }\n"
+  in
+  Alcotest.(check bool) "aligned_alloc result carries only" true
+    (has_code r "mustfree")
+
+let allocmodel_tests =
+  [
+    Alcotest.test_case "realloc lost" `Quick test_allocmodel_realloc_lost;
+    Alcotest.test_case "realloc tmp ok" `Quick test_allocmodel_realloc_tmp_ok;
+    Alcotest.test_case "reallocarray lost" `Quick
+      test_allocmodel_reallocarray_lost;
+    Alcotest.test_case "calloc zeroed" `Quick test_calloc_zero_bookkeeping;
+    Alcotest.test_case "aligned_alloc" `Quick test_aligned_alloc_modeled;
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* The refstrings corpus gate (the [3] extension, end to end)          *)
+(* ------------------------------------------------------------------ *)
+
+let test_refstrings_balanced_gate () =
+  let r = Corpus.Refstrings.check Corpus.Refstrings.client_balanced in
+  Alcotest.(check (list string)) "refstrings + balanced client" [] (codes r)
+
+let test_refstrings_leaky_gate () =
+  let r = Corpus.Refstrings.check Corpus.Refstrings.client_leaky in
+  Alcotest.(check (list string)) "codes" [ "mustfree" ] (codes r);
+  match r.Check.reports with
+  | [ d ] -> (
+      Alcotest.(check string) "message"
+        "Only storage b not released before scope exit" d.Cfront.Diag.text;
+      Alcotest.(check int) "line" 52 d.Cfront.Diag.loc.Cfront.Loc.line;
+      match d.Cfront.Diag.notes with
+      | [ n ] ->
+          Alcotest.(check string) "note" "Storage b becomes only"
+            n.Cfront.Diag.ntext;
+          Alcotest.(check int) "note line" 47
+            n.Cfront.Diag.nloc.Cfront.Loc.line
+      | _ -> Alcotest.fail "expected one note")
+  | _ -> Alcotest.fail "expected one report"
+
+let refstrings_gate_tests =
+  [
+    Alcotest.test_case "balanced" `Quick test_refstrings_balanced_gate;
+    Alcotest.test_case "leaky" `Quick test_refstrings_leaky_gate;
   ]
 
 
@@ -771,6 +962,37 @@ let blind_spot_cases =
       bc_default_codes = [ "branchstate" ];
       bc_recover =
         Some ({ Flags.default with Flags.loop_exec = true }, "nullderef");
+    };
+    (* the lost-realloc leak lives on the allocation-failure path the
+       only/null modeling cannot distinguish: the only argument is
+       consumed on every path, so without the allocator model the
+       overwrite looks like an ordinary transfer *)
+    {
+      bc_name = "realloc-lost";
+      bc_src = lost_realloc_src;
+      bc_default_codes = [];
+      bc_recover = Some (am_flags, "realloclost");
+    };
+    (* a borrowed (dependent) alias used after the last reference is
+       released: the refcount extension tracks reference balance, not
+       alias lifetimes, so no flag recovers this one *)
+    {
+      bc_name = "refcount-use";
+      bc_src =
+        "typedef /*@refcounted@*/ struct _rc { int count; int data; } *rc;\n\
+         extern /*@newref@*/ /*@notnull@*/ rc rc_create(int data);\n\
+         extern void rc_release(/*@killref@*/ rc r);\n\
+         static /*@null@*/ /*@dependent@*/ rc borrowed;\n\
+         void stash(/*@dependent@*/ rc r) { borrowed = r; }\n\
+         int f(void) {\n\
+        \  rc r = rc_create(1);\n\
+        \  stash(r);\n\
+        \  rc_release(r);\n\
+        \  if (borrowed != NULL) { return borrowed->data; }\n\
+        \  return 0;\n\
+         }\n";
+      bc_default_codes = [];
+      bc_recover = None;
     };
   ]
 
@@ -1041,6 +1263,8 @@ let () =
         ] );
       ("extensions", extension_tests);
       ("refcounting", refcount_tests);
+      ("allocator-model", allocmodel_tests);
+      ("refstrings", refstrings_gate_tests);
       ("modifies", modifies_tests);
       ("blind-spots", blind_spot_tests);
       ("loops", loopexec_tests);

@@ -168,6 +168,70 @@ let test_trial_of_seed_deterministic () =
     [ 0; 1; 42; 1000 ]
 
 (* ------------------------------------------------------------------ *)
+(* OOM fault injection *)
+
+let oom_trial bugs =
+  {
+    Difftest.t_seed = 42;
+    t_modules = 1;
+    t_fns = 2;
+    t_bugs = bugs;
+    t_coverage = 1.0;
+    t_max_steps = 200_000;
+  }
+
+let test_oom_sweep_realloc_lost () =
+  (* the lost-realloc leak only manifests when the injected failure
+     lands on the realloc: under default flags the sweep excuses it as
+     the declared realloc-lost blind spot, never as a gap *)
+  let t = oom_trial [ Progen.Brealloc_lost ] in
+  let runs = Difftest.run_trial_oom t in
+  Alcotest.(check bool) "schedule covers several sites" true
+    (List.length runs >= 2);
+  Alcotest.(check bool) "realloc-lost excused as a blind spot" true
+    (List.exists
+       (fun (_, (v : Difftest.verdict)) ->
+         List.exists
+           (fun (f : Difftest.finding) ->
+             f.Difftest.f_kind = Difftest.Blind_spot
+             && f.Difftest.f_class = "realloc-lost")
+           v.Difftest.v_findings)
+       runs);
+  Alcotest.(check int) "no unexcused gaps" 0
+    (List.length (Difftest.oom_gaps runs));
+  (* +allocmodel catches the bug statically, so the divergence
+     disappears entirely *)
+  let flags = { Flags.default with Flags.alloc_model = true } in
+  let runs' = Difftest.run_trial_oom ~flags t in
+  Alcotest.(check bool) "+allocmodel: silent agreement" true
+    (List.for_all
+       (fun (_, (v : Difftest.verdict)) -> v.Difftest.v_findings = [])
+       runs')
+
+let test_oom_sweep_leak_handled () =
+  (* the oom-leak carrier bails out of the injected failure with held
+     blocks: leaks must only be assessed on runs that still exited 0 *)
+  let runs = Difftest.run_trial_oom (oom_trial [ Progen.Boom_leak ]) in
+  Alcotest.(check int) "no gaps: static mustfree witnesses the leak" 0
+    (List.length (Difftest.oom_gaps runs))
+
+let test_refcount_use_blind_spot () =
+  (* the borrowed-alias use-after-free diverges on ordinary runs too *)
+  let p =
+    Progen.generate ~seed:42 ~modules:1 ~fns_per_module:2
+      ~bugs:[ Progen.Brefcount_use ] ~coverage:1.0 ()
+  in
+  let v = Difftest.classify p in
+  Alcotest.(check bool) "excused as the refcount-use blind spot" true
+    (List.exists
+       (fun (f : Difftest.finding) ->
+         f.Difftest.f_kind = Difftest.Blind_spot
+         && f.Difftest.f_class = "refcount-use")
+       v.Difftest.v_findings);
+  Alcotest.(check int) "no soundness gaps" 0
+    (List.length (find_kind Difftest.Soundness_gap v))
+
+(* ------------------------------------------------------------------ *)
 (* Reducer *)
 
 let test_reduce_shrinks_and_preserves_key () =
@@ -280,6 +344,15 @@ let () =
             test_sweep_deterministic_across_jobs;
           Alcotest.test_case "trial-determinism" `Quick
             test_trial_of_seed_deterministic;
+        ] );
+      ( "oom",
+        [
+          Alcotest.test_case "realloc-lost sweep" `Quick
+            test_oom_sweep_realloc_lost;
+          Alcotest.test_case "oom-leak sweep" `Quick
+            test_oom_sweep_leak_handled;
+          Alcotest.test_case "refcount-use" `Quick
+            test_refcount_use_blind_spot;
         ] );
       ( "reducer",
         [

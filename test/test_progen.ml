@@ -273,6 +273,78 @@ let test_expected_detection_matrix () =
         true dynamically_seen)
     p.Progen.seeded
 
+(* The hostile-allocation kinds (appended after the original eight, so
+   the 8-module round-robin above never reaches them): seed exactly
+   those four and check their metadata the same way, under both flag
+   sets, plus the OOM-only dynamic witness for the realloc-lost bug. *)
+let test_hostile_kinds_matrix () =
+  let hostile =
+    [ Progen.Brealloc_lost; Progen.Boom_leak; Progen.Brefcount_leak;
+      Progen.Brefcount_use ]
+  in
+  let p =
+    Progen.generate ~modules:4 ~fns_per_module:2 ~bugs:hostile ~coverage:1.0 ()
+  in
+  Alcotest.(check int) "all four seeded" 4 (List.length p.Progen.seeded);
+  List.iter
+    (fun flags ->
+      let st = Progen.static_check ~flags p in
+      List.iter
+        (fun (sb : Progen.seeded) ->
+          let file = Progen.sb_file sb in
+          let statically_seen =
+            List.exists
+              (fun (d : Cfront.Diag.t) ->
+                d.Cfront.Diag.loc.Cfront.Loc.file = file)
+              st.Check.reports
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "static on %s under %s"
+               (Progen.bug_kind_string sb.Progen.sb_kind)
+               (Annot.Flags.canonical flags))
+            (Progen.expected_static ~flags sb.Progen.sb_kind)
+            statically_seen)
+        p.Progen.seeded)
+    [ Annot.Flags.default;
+      { Annot.Flags.default with Annot.Flags.alloc_model = true } ];
+  (* ordinary runs: only the refcount borrow misbehaves dynamically *)
+  let dy = Progen.dynamic_check p in
+  Alcotest.(check int) "no leaks on the ordinary run" 0
+    (List.length dy.Rtcheck.leaks);
+  let use_file =
+    Progen.sb_file
+      (List.find
+         (fun (sb : Progen.seeded) -> sb.Progen.sb_kind = Progen.Brefcount_use)
+         p.Progen.seeded)
+  in
+  Alcotest.(check bool) "refcount-use error surfaces" true
+    (List.exists
+       (fun (e : Rtcheck.Heap.error) ->
+         e.Rtcheck.Heap.e_loc.Cfront.Loc.file = use_file)
+       dy.Rtcheck.errors);
+  (* the OOM-carried kinds leak only when an allocation is forced to
+     fail: sweep the schedule and demand a leak in the realloc-lost
+     module on some injected run *)
+  let lost_file =
+    Progen.sb_file
+      (List.find
+         (fun (sb : Progen.seeded) -> sb.Progen.sb_kind = Progen.Brealloc_lost)
+         p.Progen.seeded)
+  in
+  let leak_seen = ref false in
+  for site = 1 to dy.Rtcheck.alloc_requests do
+    let r = Progen.dynamic_check ~oom_fail:site p in
+    if
+      List.exists
+        (fun (l : Rtcheck.Heap.leak) ->
+          l.Rtcheck.Heap.lk_block.Rtcheck.Heap.b_alloc_site.Cfront.Loc.file
+          = lost_file)
+        r.Rtcheck.leaks
+    then leak_seen := true
+  done;
+  Alcotest.(check bool) "realloc-lost leaks under OOM injection" true
+    !leak_seen
+
 let () =
   Alcotest.run "progen"
     [
@@ -293,6 +365,8 @@ let () =
           Alcotest.test_case "of_files roundtrip" `Quick test_of_files_roundtrip;
           Alcotest.test_case "expected-detection matrix" `Quick
             test_expected_detection_matrix;
+          Alcotest.test_case "hostile kinds matrix" `Quick
+            test_hostile_kinds_matrix;
         ] );
       ( "detection-matrix",
         [

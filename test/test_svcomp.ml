@@ -1,0 +1,126 @@
+(* The SV-COMP MemSafety task adapter: the bundled task directory must
+   load, score with zero unsound verdicts under the recovery flags, and
+   witness each expected-false task with a diagnostic from the task's
+   subproperty.  These are the same checks bench/main.exe svcomp gates
+   CI on, pinned here so the adapter and the task set cannot drift. *)
+
+module Flags = Annot.Flags
+
+(* dune runtest executes from test/, dune exec from the repo root *)
+let tasks_dir =
+  if Sys.file_exists "bench/svcomp" then "bench/svcomp"
+  else "../bench/svcomp"
+
+let yardstick_flags =
+  {
+    Flags.default with
+    Flags.alloc_model = true;
+    loop_exec = true;
+    free_offset = true;
+    free_static = true;
+  }
+
+let load () =
+  match Svcomp.load_dir tasks_dir with
+  | Ok tasks -> tasks
+  | Error m -> Alcotest.failf "load_dir: %s" m
+
+let test_load_dir () =
+  let tasks = load () in
+  Alcotest.(check bool) "at least a dozen tasks bundled" true
+    (List.length tasks >= 12);
+  (* records arrive sorted by name, one .c input each *)
+  let names = List.map (fun (t : Svcomp.task) -> t.Svcomp.t_name) tasks in
+  Alcotest.(check (list string)) "sorted by task name"
+    (List.sort String.compare names)
+    names;
+  List.iter
+    (fun (t : Svcomp.task) ->
+      Alcotest.(check bool)
+        (t.Svcomp.t_name ^ " input exists")
+        true
+        (Sys.file_exists t.Svcomp.t_file))
+    tasks
+
+let test_load_dir_missing () =
+  match Svcomp.load_dir "no-such-dir" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected an error on a missing directory"
+
+let test_score_no_unsound () =
+  let scored = List.map (Svcomp.run_task ~flags:yardstick_flags) (load ()) in
+  let sum = Svcomp.summarize scored in
+  Alcotest.(check int) "zero unsound verdicts" 0 sum.Svcomp.n_unsound;
+  Alcotest.(check int) "zero unknown verdicts" 0 sum.Svcomp.n_unknown;
+  Alcotest.(check int) "zero imprecise verdicts" 0 sum.Svcomp.n_imprecise;
+  Alcotest.(check int) "everything scored"
+    sum.Svcomp.n_tasks
+    (sum.Svcomp.n_correct_true + sum.Svcomp.n_correct_false)
+
+let find_scored name scored =
+  match
+    List.find_opt
+      (fun (s : Svcomp.scored) -> s.Svcomp.s_task.Svcomp.t_name = name)
+      scored
+  with
+  | Some s -> s
+  | None -> Alcotest.failf "no task named %s" name
+
+let test_realloc_lost_pair () =
+  (* the tentpole diagnostic carries its weight on the yardstick: the
+     lost-pointer task is refuted by realloclost while the tmp idiom
+     scores a clean true *)
+  let scored = List.map (Svcomp.run_task ~flags:yardstick_flags) (load ()) in
+  let lost = find_scored "memtrack-realloc-lost" scored in
+  Alcotest.(check string) "lost verdict" "false"
+    (Svcomp.verdict_string lost.Svcomp.s_verdict);
+  Alcotest.(check (list string)) "lost witness" [ "realloclost" ]
+    lost.Svcomp.s_codes;
+  let ok = find_scored "memtrack-realloc-tmp-ok" scored in
+  Alcotest.(check string) "tmp idiom verdict" "true"
+    (Svcomp.verdict_string ok.Svcomp.s_verdict)
+
+let test_subproperty_restricts_witnesses () =
+  (* a diagnostic outside the task's subproperty cannot refute it: the
+     use-after-free witness does not serve a valid-memtrack claim *)
+  let tasks = load () in
+  let t =
+    List.find
+      (fun (t : Svcomp.task) -> t.Svcomp.t_name = "deref-use-after-free")
+      tasks
+  in
+  let narrowed = { t with Svcomp.t_subproperty = Some "valid-memtrack" } in
+  let s = Svcomp.run_task ~flags:yardstick_flags narrowed in
+  Alcotest.(check bool) "no false verdict outside the subproperty" true
+    (s.Svcomp.s_verdict <> Svcomp.Vfalse)
+
+let test_default_flags_miss_pinned () =
+  (* the motivating gap, measured on the yardstick: without the
+     allocator model the lost-pointer task scores an unsound true.
+     This pin documents WHY the bench gate runs with the recovery
+     flags; if the defaults ever start catching it, the blind-spot
+     taxonomy must change with them. *)
+  let scored = List.map (Svcomp.run_task ~flags:Flags.default) (load ()) in
+  let lost = find_scored "memtrack-realloc-lost" scored in
+  Alcotest.(check string) "defaults miss realloc-lost" "true"
+    (Svcomp.verdict_string lost.Svcomp.s_verdict)
+
+let () =
+  Alcotest.run "svcomp"
+    [
+      ( "loading",
+        [
+          Alcotest.test_case "load_dir" `Quick test_load_dir;
+          Alcotest.test_case "missing dir" `Quick test_load_dir_missing;
+        ] );
+      ( "scoring",
+        [
+          Alcotest.test_case "no unsound" `Quick test_score_no_unsound;
+          Alcotest.test_case "realloc-lost pair" `Quick
+            test_realloc_lost_pair;
+          Alcotest.test_case "subproperty" `Quick
+            test_subproperty_restricts_witnesses;
+          Alcotest.test_case "default-flags miss" `Quick
+            test_default_flags_miss_pinned;
+        ] );
+    ]
