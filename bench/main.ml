@@ -659,24 +659,37 @@ let read_baseline path =
             path;
           exit 2)
 
+(* timed repetitions per configuration; the reported figure is the
+   minimum (the standard timeit discipline for sub-second measurements) *)
+let scale_reps = 9
+
 let scale () =
   section "E10: multicore checking -- generated corpora at -j 1/2/4/8";
-  row "  Fixed-seed corpora (seed %d) of 10/50/200 functions, analysed\n"
+  row "  Fixed-seed corpora (seed %d) of 10/50/200/9300 functions,\n"
     !seed_flag;
-  row "  fresh per run and checked through the Parcheck domain pool.\n";
-  row "  Diagnostics must be identical at every job count; wall-clock,\n";
-  row "  store_ops and speedup are written to BENCH_scale.json.\n";
+  row "  analysed once each and checked through the Parcheck\n";
+  row "  work-stealing domain pool (one task per procedure).  Each\n";
+  row "  configuration does one warm-up run (lowers the checking IR,\n";
+  row "  parks the pool domains) and then reports the minimum of %d timed\n"
+    scale_reps;
+  row "  runs.  Diagnostics must be identical at every job count;\n";
+  row "  wall-clock, store_ops, task/steal counts and speedup are\n";
+  row "  written to BENCH_scale.json.\n";
   row "  (this machine reports %d available core%s; speedup above 1x needs\n"
     (Domain.recommended_domain_count ())
     (if Domain.recommended_domain_count () = 1 then "" else "s");
   row "  more than one)\n\n";
-  let sizes = [ (2, 5); (10, 5); (20, 10) ] in
+  let sizes = [ (2, 5); (10, 5); (20, 10); (150, 62) ] in
   let jobs_list = [ 1; 2; 4; 8 ] in
-  row "  %9s %5s %10s %12s %10s %9s\n" "functions" "jobs" "time" "store_ops"
-    "elided" "speedup";
+  row "  %9s %5s %10s %12s %10s %6s %7s %9s\n" "functions" "jobs" "time"
+    "store_ops" "elided" "tasks" "steals" "speedup";
   let records = ref [] in
   (* sequential store_ops on the largest corpus: the CI regression gate *)
   let seq_store_ops = ref 0 in
+  (* sequential wall-clock totals, IR engine vs the legacy tree walk:
+     the second CI regression gate *)
+  let seq_ir_total = ref 0.0 in
+  let seq_tw_total = ref 0.0 in
   List.iter
     (fun (modules, fns) ->
       let functions = modules * fns in
@@ -685,49 +698,122 @@ let scale () =
       in
       let t1 = ref 0.0 in
       let reference = ref None in
+      let check_identity ~what rendered =
+        match !reference with
+        | None -> reference := Some rendered
+        | Some r ->
+            if r <> rendered then (
+              Printf.eprintf
+                "scale: %s diagnostics differ from -j 1 on the %d-function \
+                 corpus\n"
+                what functions;
+              exit 3)
+      in
+      (* one analysed program shared by every configuration:
+         [check_program] never mutates it (environment-mutating files
+         check against a private {!Sema.copy_for_check}), and the
+         [`Treewalk] configuration is the {e same} record with only the
+         engine flag flipped — the legacy AST-walk yardstick the IR hot
+         path must not regress against (and a live equivalence check).
+         Sharing one heap image means every configuration traverses
+         identical memory, so the timings differ only by engine and
+         job count, not by allocation order or heap size. *)
+      let prog = Progen.analyse p in
+      let twprog =
+        {
+          prog with
+          Sema.flags =
+            { Annot.Flags.default with Annot.Flags.tree_walk = true };
+        }
+      in
+      let configs =
+        List.map (fun jobs -> (`Jobs jobs, prog)) jobs_list
+        @ [ (`Treewalk, twprog) ]
+      in
+      (* one warm-up pass per configuration (lowers the checking IR,
+         parks the pool domains); counters are read from it so they
+         describe exactly one full check *)
+      let measured =
+        List.map
+          (fun (kind, prog) ->
+            let jobs = match kind with `Jobs j -> j | `Treewalk -> 1 in
+            Telemetry.reset ();
+            Telemetry.set_enabled true;
+            let diags = Parcheck.check_program ~jobs prog in
+            let ops = Telemetry.Counter.value Telemetry.c_store_ops in
+            let elided =
+              Telemetry.Counter.value Telemetry.c_store_ops_elided
+            in
+            let steals = Telemetry.Counter.value Telemetry.c_tasks_stolen in
+            Telemetry.set_enabled false;
+            Telemetry.reset ();
+            let rendered =
+              List.map Cfront.Diag.to_string
+                (Cfront.Diag.Collector.sort_emission diags)
+            in
+            let what =
+              match kind with
+              | `Jobs j -> Printf.sprintf "-j %d" j
+              | `Treewalk -> "+treewalk"
+            in
+            check_identity ~what rendered;
+            (kind, prog, jobs, ops, elided, steals, rendered, ref infinity))
+          configs
+      in
+      (* minimum over interleaved timed rounds (timeit-style):
+         steady-state cost, not domain-spawn and IR-lowering noise.
+         The starting configuration rotates each round so no
+         configuration is systematically measured first (or right
+         after) any other.  Compacting once after warm-up packs the
+         live data (AST, lowered IR, summaries) contiguously so no
+         engine pays for the warm-up phase's allocation layout *)
+      Gc.compact ();
+      let marr = Array.of_list measured in
+      let nconf = Array.length marr in
+      for r = 0 to scale_reps - 1 do
+        for i = 0 to nconf - 1 do
+          let _, prog, jobs, _, _, _, _, dt = marr.((i + r) mod nconf) in
+          (* every sample starts from the same GC state: without this,
+             whichever configuration inherits the previous one's major
+             heap debt pays its collection slice *)
+          Gc.full_major ();
+          let _, d = time (fun () -> Parcheck.check_program ~jobs prog) in
+          if d < !dt then dt := d
+        done
+      done;
       List.iter
-        (fun jobs ->
-          let prog = Progen.analyse p in
-          Telemetry.reset ();
-          Telemetry.set_enabled true;
-          let diags, dt = time (fun () -> Parcheck.check_program ~jobs prog) in
-          let ops = Telemetry.Counter.value Telemetry.c_store_ops in
-          let elided = Telemetry.Counter.value Telemetry.c_store_ops_elided in
-          Telemetry.set_enabled false;
-          Telemetry.reset ();
-          let rendered =
-            List.map Cfront.Diag.to_string
-              (Cfront.Diag.Collector.sort_emission diags)
-          in
-          (match !reference with
-          | None -> reference := Some rendered
-          | Some r ->
-              if r <> rendered then (
-                Printf.eprintf
-                  "scale: -j %d diagnostics differ from -j 1 on the \
-                   %d-function corpus\n"
-                  jobs functions;
-                exit 3));
-          if jobs = 1 then (
-            t1 := dt;
-            seq_store_ops := ops);
-          let speedup = if dt > 0.0 then !t1 /. dt else 1.0 in
-          row "  %9d %5d %9.3fs %12d %10d %8.2fx\n" functions jobs dt ops
-            elided speedup;
-          records :=
-            Telemetry.Json.(
-              Obj
-                [
-                  ("functions", Int functions);
-                  ("jobs", Int jobs);
-                  ("seconds", Float dt);
-                  ("store_ops", Int ops);
-                  ("store_ops_elided", Int elided);
-                  ("diagnostics", Int (List.length rendered));
-                  ("speedup_vs_j1", Float speedup);
-                ])
-            :: !records)
-        jobs_list)
+        (fun (kind, prog, _, ops, elided, steals, rendered, dt) ->
+          let dt = !dt in
+          match kind with
+          | `Jobs jobs ->
+              let tasks = Parcheck.task_count prog in
+              if jobs = 1 then (
+                t1 := dt;
+                seq_store_ops := ops;
+                seq_ir_total := !seq_ir_total +. dt);
+              let speedup = if dt > 0.0 then !t1 /. dt else 1.0 in
+              row "  %9d %5d %9.3fs %12d %10d %6d %7d %8.2fx\n" functions
+                jobs dt ops elided tasks steals speedup;
+              records :=
+                Telemetry.Json.(
+                  Obj
+                    [
+                      ("functions", Int functions);
+                      ("jobs", Int jobs);
+                      ("seconds", Float dt);
+                      ("store_ops", Int ops);
+                      ("store_ops_elided", Int elided);
+                      ("tasks", Int tasks);
+                      ("steals", Int steals);
+                      ("diagnostics", Int (List.length rendered));
+                      ("speedup_vs_j1", Float speedup);
+                    ])
+                :: !records
+          | `Treewalk ->
+              seq_tw_total := !seq_tw_total +. dt;
+              row "  %9d %5s %9.3fs %42s\n" functions "tree" dt
+                "(+treewalk sequential yardstick)")
+        measured)
     sizes;
   let doc =
     Telemetry.Json.(
@@ -737,6 +823,8 @@ let scale () =
           ("seed", Int !seed_flag);
           ("cores", Int (Domain.recommended_domain_count ()));
           ("sequential_store_ops", Int !seq_store_ops);
+          ("sequential_ir_seconds", Float !seq_ir_total);
+          ("sequential_treewalk_seconds", Float !seq_tw_total);
           ("rows", List (List.rev !records));
         ])
   in
@@ -745,6 +833,8 @@ let scale () =
   output_string oc "\n";
   close_out oc;
   row "\n  wrote BENCH_scale.json\n";
+  row "  sequential totals: ir %.3fs vs treewalk %.3fs\n" !seq_ir_total
+    !seq_tw_total;
   match !baseline_flag with
   | None -> ()
   | Some path ->
@@ -759,7 +849,18 @@ let scale () =
         exit 3)
       else
         row "  store_ops %d within 10%% of baseline %d (%s)\n" !seq_store_ops
-          baseline path
+          baseline path;
+      (* the IR interpreter must not be slower than the tree walk it
+         replaced (same 10% noise allowance as the store_ops gate) *)
+      if !seq_ir_total > !seq_tw_total *. 1.1 then (
+        Printf.eprintf
+          "scale: sequential IR wall-clock %.3fs regressed >10%% over the \
+           tree-walk baseline %.3fs\n"
+          !seq_ir_total !seq_tw_total;
+        exit 3)
+      else
+        row "  sequential IR %.3fs within 10%% of treewalk %.3fs\n"
+          !seq_ir_total !seq_tw_total
 
 (* ------------------------------------------------------------------ *)
 (* E11: the differential soundness oracle                              *)

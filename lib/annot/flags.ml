@@ -67,6 +67,11 @@ type t = {
           (still allocated), and overwriting the sole live reference with
           a realloc result raises [realloclost] (off by default,
           preserving the paper's miss profile) *)
+  tree_walk : bool;
+      (** [+treewalk]: check procedures by walking the AST directly
+          instead of lowering to the flat checking IR first (the legacy
+          engine, kept as an escape hatch and as the equivalence oracle
+          for the IR interpreter; diagnostics are identical either way) *)
 }
 
 let default =
@@ -92,6 +97,7 @@ let default =
     loop_exec = false;
     loop_iter = 8;
     alloc_model = false;
+    tree_walk = false;
   }
 
 (** The paper's [-allimponly] run (Section 6): no implicit [only]
@@ -168,6 +174,7 @@ let apply (f : t) (s : string) : (t, flag_error) result =
   | "inferconstraints" -> Ok { f with infer_constraints = set }
   | "loopexec" -> Ok { f with loop_exec = set }
   | "allocmodel" -> Ok { f with alloc_model = set }
+  | "treewalk" -> Ok { f with tree_walk = set }
   | "loopiter" ->
       (* valueless spelling resets the bound to its default *)
       Ok { f with loop_iter = default.loop_iter }
@@ -215,6 +222,7 @@ let canonical (f : t) =
       b "loopexec" f.loop_exec;
       Printf.sprintf "loopiter=%d" f.loop_iter;
       b "allocmodel" f.alloc_model;
+      b "treewalk" f.tree_walk;
     ]
 
 let flag_names =
@@ -223,7 +231,7 @@ let flag_names =
     "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
     "guards"; "aliastrack"; "inferconstraints"; "loopexec"; "loopiter";
-    "allocmodel";
+    "allocmodel"; "treewalk";
   ]
 
 (* Levenshtein distance, one-row DP. *)

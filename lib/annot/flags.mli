@@ -35,6 +35,9 @@ type t = {
   alloc_model : bool;
       (** [+allocmodel]: path-sensitive allocator-family semantics
           (realloc NULL-branch resurrection, [realloclost]) *)
+  tree_walk : bool;
+      (** [+treewalk]: use the legacy AST tree walk instead of the flat
+          checking IR (identical diagnostics; equivalence oracle) *)
 }
 
 val default : t

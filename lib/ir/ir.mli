@@ -1,0 +1,74 @@
+(** The flat checking IR.
+
+    [lower_fundef] compiles a function body once into a compact array of
+    basic blocks of checking-relevant instructions; the checker's
+    abstract interpreter then runs as a tight loop over instruction
+    arrays instead of re-dispatching on the AST per procedure
+    (docs/performance.md).  Lowering is purely syntactic — instructions
+    keep references into the AST for expressions and declarations, so
+    the interpreter produces byte-identical diagnostics to the tree
+    walk (the [+treewalk] escape hatch selects the legacy walk; the
+    difftest oracle and the parcheck identity tests gate equality).
+
+    Structured control flow is preserved: loops and branches reference
+    sub-blocks rather than raw jump targets, because the checker's
+    [+loopexec] widening and breakable-scope machinery is defined over
+    loop bodies, not arbitrary edges.  [Scase]/[Sdefault]/[Slabel]
+    wrappers are stripped during lowering (the checker treats them as
+    transparent), [Sskip] disappears, and a [switch] body is
+    pre-segmented into its case arms — work the tree walk re-does every
+    time a procedure is checked. *)
+
+type block = int
+(** Index into {!proc.p_blocks}. *)
+
+type instr =
+  | Iexpr of Cfront.Ast.expr * Cfront.Loc.t
+      (** expression statement (leak-checks an unconsumed fresh result) *)
+  | Iassert of Cfront.Ast.expr  (** keep only the path where it holds *)
+  | Idecl of Cfront.Ast.decl list * Cfront.Loc.t  (** local declarations *)
+  | Iscope of block * Cfront.Loc.t
+      (** run [block] in a fresh scope; scope-exit leak checks apply *)
+  | Iif of Cfront.Ast.expr * block * block option * Cfront.Loc.t
+  | Iwhile of Cfront.Ast.expr * block * Cfront.Loc.t
+  | Ido of block * Cfront.Ast.expr * Cfront.Loc.t
+  | Ifor of
+      Cfront.Ast.expr option * Cfront.Ast.expr option * block * Cfront.Loc.t
+      (** condition, step, body; the initializer is lowered inline
+          before this instruction (it runs exactly once) *)
+  | Iret of Cfront.Ast.expr option * Cfront.Loc.t
+  | Ibreak
+  | Icontinue
+  | Iswitch of Cfront.Ast.expr * block array * bool * Cfront.Loc.t
+      (** scrutinee, pre-segmented case arms, has-default *)
+  | Igoto of Cfront.Loc.t  (** reported as unanalyzed; path abandoned *)
+
+type proc = {
+  p_name : string;
+  p_entry : block;  (** the lowered function body *)
+  p_blocks : instr array array;
+  p_mutates_env : bool;  (** see {!mutates_env} *)
+}
+
+val lower_fundef : Cfront.Ast.fundef -> proc
+(** Compile one function body.  Ticks the [ir_blocks]/[ir_instrs]
+    telemetry counters once per block/instruction built. *)
+
+val mutates_env : Cfront.Ast.fundef -> bool
+(** Can checking this body mutate the shared program environment?
+    True when the body contains a block-scope [typedef] or [extern]
+    declaration (they reach [Sema.process_decl]) or any type whose
+    resolution registers definitions — an inline [struct]/[union] field
+    list, an [enum] item list, or an anonymous tag (they reach the
+    mutating paths of [Sema.resolve_ty]).  The parallel driver checks
+    such procedures against a private {!Sema.copy_for_check} and shares
+    the program read-only across domains for everything else. *)
+
+val instr_count : proc -> int
+(** Total instructions across all blocks. *)
+
+val pp_proc : Format.formatter -> proc -> unit
+(** Stable, compact rendering of a lowered procedure (golden tests). *)
+
+val to_string : proc -> string
+(** [pp_proc] to a string. *)

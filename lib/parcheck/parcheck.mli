@@ -1,38 +1,61 @@
 (** Parallel checking driver: run the per-procedure checker over a
-    program's files on a pool of OCaml 5 domains ([olclint -j N]).
+    program on a pool of OCaml 5 domains ([olclint -j N]).
 
-    Work is partitioned by source file.  Every task checks against its
-    own {!Sema.copy_for_check} of the post-sema program, so tasks share
-    no mutable state; each worker domain records telemetry locally and
-    the recordings are merged back ({!Telemetry.absorb}) after the
-    domains are joined.
+    Work is partitioned per {e procedure}: tasks whose body cannot
+    mutate the shared program environment ({!Ir.mutates_env}) check
+    against the original post-sema program, shared read-only across
+    domains; files containing environment-mutating procedures remain
+    file-granular tasks against a private {!Sema.copy_for_check}.
+    Tasks are scheduled by work-stealing (per-task atomic claim flags
+    over contiguous per-worker ranges) on a process-wide pool of warm
+    worker domains that is reused across runs; each worker records
+    telemetry locally and the recordings are merged back
+    ({!Telemetry.absorb}) before returning.
 
     {b Determinism guarantee.}  The returned diagnostics — contents and
-    order — are identical for every [jobs] value: each task's result
-    depends only on the immutable input program, and results are
-    concatenated in task (file) order regardless of which domain
-    finished when.  [jobs = 1] runs the same per-task code on the
-    calling domain without spawning anything. *)
+    order — are identical for every [jobs] value: the task list depends
+    only on the input program, each task's result depends only on that
+    (immutable or privately copied) program, and results are
+    concatenated in task order regardless of which domain ran what.
+    [jobs = 1] runs the same per-task code on the calling domain
+    without spawning anything. *)
 
 val default_jobs : unit -> int
 (** {!Domain.recommended_domain_count} — what [-j 0] resolves to. *)
 
-val map_tasks : jobs:int -> int -> (par:bool -> int -> 'a) -> 'a array
-(** [map_tasks ~jobs n f] evaluates [f i] for [i = 0..n-1] on a pool of
-    at most [jobs] domains and returns the results positionally, so the
-    output never depends on domain scheduling.  [par] tells the task
-    whether it runs on a spawned worker (shared mutable state must then
-    be copied, domain-local state re-created) or sequentially on the
-    calling domain ([jobs <= 1], no spawn).  Worker telemetry recordings
-    are merged into the caller after the join.  Reused by the
-    differential-testing harness to run independent fuzz trials in
-    parallel. *)
+val map_tasks :
+  ?oversubscribe:bool -> jobs:int -> int -> (par:bool -> int -> 'a) -> 'a array
+(** [map_tasks ~jobs n f] evaluates [f i] for [i = 0..n-1] on at most
+    [jobs] concurrent domains (the calling domain counts as one and
+    works too) and returns the results positionally, so the output never
+    depends on domain scheduling.  [jobs] is an upper bound twice over:
+    it is clamped to the task count and to the machine's core count
+    ({!Domain.recommended_domain_count}) — extra domains beyond the
+    cores buy no parallelism and tax every minor collection, and the
+    positional results make the worker count unobservable in the
+    output.  [oversubscribe] (default [false]) lifts the core-count
+    clamp for tests that must exercise the pool machinery on any host.
+    Helper domains come from the warm pool when available
+    ([pool_reuses] telemetry) and are parked again afterwards; tasks
+    left unclaimed in one worker's range are stolen by idle workers
+    ([tasks_stolen]).  [par] tells the task whether it runs
+    concurrently with others and must therefore copy shared mutable
+    state, or sequentially on the calling domain (no spawn).  Worker
+    telemetry recordings are merged into the caller before returning.
+    Reused by the differential-testing harness and the incremental
+    server. *)
+
+val task_count : Sema.program -> int
+(** Number of scheduler tasks [check_program] would create for this
+    program: one per procedure, except that each file containing an
+    environment-mutating procedure collapses into a single task
+    (benchmark reporting). *)
 
 val check_program : ?jobs:int -> Sema.program -> Cfront.Diag.t list
 (** Check every procedure of the program with at most [jobs] (default 1)
     concurrent domains and return the checker's diagnostics in
     deterministic order: by file in first-definition order, then by
-    emission order within the file.  Frontend/sema diagnostics already
-    collected in the program are untouched (still in [prog.diags]);
-    combine and sort with {!Cfront.Diag.Collector.sort_emission} for
-    final output. *)
+    definition and emission order within the file.  Frontend/sema
+    diagnostics already collected in the program are untouched (still in
+    [prog.diags]); combine and sort with
+    {!Cfront.Diag.Collector.sort_emission} for final output. *)

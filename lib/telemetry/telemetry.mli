@@ -177,6 +177,22 @@ val c_oom_injections : Counter.t
 (** Heap allocation requests forced to fail by the runtime checker's
     OOM fault-injection schedule. *)
 
+val c_ir_instrs : Counter.t
+(** Instructions emitted by the checking-IR lowering pass (one tick per
+    instruction of each freshly lowered procedure; cache hits re-run
+    existing arrays and tick nothing). *)
+
+val c_ir_blocks : Counter.t
+(** Basic blocks built by the checking-IR lowering pass. *)
+
+val c_tasks_stolen : Counter.t
+(** Per-procedure checking tasks a parallel worker claimed from another
+    worker's range after draining its own (the work-stealing driver). *)
+
+val c_pool_reuses : Counter.t
+(** Warm worker domains reused from the persistent checking pool
+    instead of being spawned (one tick per reused worker per run). *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
 

@@ -1,0 +1,203 @@
+(* The flat checking IR: golden lowerings of the paper's figure
+   programs, the environment-mutation classifier the parallel driver
+   keys on, and the contract the whole engine rests on — the IR
+   interpreter and the legacy AST walk ([+treewalk]) produce identical
+   diagnostics on arbitrary generated programs. *)
+
+module Flags = Annot.Flags
+
+let fundefs_of ~typedefs ~file src =
+  let tu = Cfront.Parser.parse_string ~typedefs ~file src in
+  List.filter_map
+    (function Cfront.Ast.Tfundef f -> Some f | Cfront.Ast.Tdecl _ -> None)
+    tu.Cfront.Ast.tu_decls
+
+let lower_one ~typedefs ~file src =
+  match fundefs_of ~typedefs ~file src with
+  | [ f ] -> Ir.lower_fundef f
+  | fs -> Alcotest.failf "expected 1 fundef in %s, got %d" file (List.length fs)
+
+(* ------------------------------------------------------------------ *)
+(* Golden lowerings                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let test_golden_fig1 () =
+  let p = lower_one ~typedefs:[] ~file:"fig1.c" Corpus.Figures.fig1_sample in
+  Alcotest.(check string)
+    "fig1 setName"
+    "proc setName entry=b0 blocks=2 instrs=2 mutates=false\n\
+     b0:\n\
+    \  scope b1\n\
+     b1:\n\
+    \  expr (gname = pname) @5:3\n"
+    (Ir.to_string p)
+
+let test_golden_fig5 () =
+  (* the paper's buggy [list_addh]: the while loop and the guarded
+     then-branch become sub-blocks, the case/skip chaff is gone *)
+  let p =
+    lower_one ~typedefs:[ "size_t" ] ~file:"fig5.c"
+      Corpus.Figures.fig5_list_addh
+  in
+  Alcotest.(check string)
+    "fig5 list_addh"
+    "proc list_addh entry=b0 blocks=6 instrs=8 mutates=false\n\
+     b0:\n\
+    \  scope b1\n\
+     b1:\n\
+    \  if (l != NULL) then b2\n\
+     b2:\n\
+    \  scope b3\n\
+     b3:\n\
+    \  while (l->next != NULL) body b4\n\
+    \  expr (l->next = (cast)smalloc(sizeof(*l->next))) @16:5\n\
+    \  expr (l->next->this = e) @17:5\n\
+     b4:\n\
+    \  scope b5\n\
+     b5:\n\
+    \  expr (l = l->next) @14:7\n"
+    (Ir.to_string p)
+
+let test_golden_fig7 () =
+  let p =
+    lower_one ~typedefs:[ "EXIT_FAILURE" ] ~file:"fig7.c"
+      Corpus.Figures.fig7_erc_create
+  in
+  Alcotest.(check string)
+    "fig7 erc_create"
+    "proc erc_create entry=b0 blocks=4 instrs=9 mutates=false\n\
+     b0:\n\
+    \  scope b1\n\
+     b1:\n\
+    \  decl c @7:3\n\
+    \  if (c == NULL) then b2\n\
+    \  expr (c->vals = NULL) @14:3\n\
+    \  expr (c->size = 0) @15:3\n\
+    \  ret c @16:3\n\
+     b2:\n\
+    \  scope b3\n\
+     b3:\n\
+    \  expr error(\"malloc returned null\") @10:5\n\
+    \  expr exit(EXIT_FAILURE) @11:5\n"
+    (Ir.to_string p)
+
+(* ------------------------------------------------------------------ *)
+(* The environment-mutation classifier                                 *)
+(* ------------------------------------------------------------------ *)
+
+let mutates src =
+  match fundefs_of ~typedefs:[] ~file:"mut.c" src with
+  | f :: _ -> Ir.mutates_env f
+  | [] -> Alcotest.fail "no fundef"
+
+let test_mutates_env () =
+  Alcotest.(check bool) "plain body" false
+    (mutates "void f(int x) { int y; y = x; }");
+  Alcotest.(check bool) "block-scope typedef" true
+    (mutates "void f(void) { typedef int local_t; }");
+  Alcotest.(check bool) "block-scope extern" true
+    (mutates "void f(void) { extern int g; }");
+  Alcotest.(check bool) "inline field list" true
+    (mutates "void f(void) { struct s { int a; } v; v.a = 0; }");
+  Alcotest.(check bool) "enum item list" true
+    (mutates "void f(void) { enum e { A, B } v; v = A; }");
+  Alcotest.(check bool) "named tag reference only" false
+    (mutates "struct s { int a; };\nvoid f(struct s v) { v.a = 0; }")
+
+(* ------------------------------------------------------------------ *)
+(* IR interpreter == tree walk, on generated programs                  *)
+(* ------------------------------------------------------------------ *)
+
+let render_result (r : Check.result) =
+  String.concat "\n"
+    (List.map
+       (fun d -> Telemetry.Json.to_string (Cfront.Diag.to_json d))
+       (r.Check.reports @ r.Check.suppressed))
+
+let check_equiv ~what flags p =
+  let ir = render_result (Progen.static_check ~flags p) in
+  let tw =
+    render_result
+      (Progen.static_check ~flags:{ flags with Flags.tree_walk = true } p)
+  in
+  Alcotest.(check string) what ir tw
+
+let test_equiv_progen () =
+  (* buggy, message-rich programs across several seeds: the IR engine
+     must reproduce the tree walk byte for byte *)
+  let flags = Flags.(allimponly_off default) in
+  List.iter
+    (fun seed ->
+      let p =
+        Progen.generate ~seed ~modules:3 ~fns_per_module:5
+          ~bugs:Progen.all_bug_kinds ()
+      in
+      check_equiv ~what:(Printf.sprintf "seed %d" seed) flags p)
+    [ 1; 2; 3; 4; 5 ];
+  List.iter
+    (fun seed ->
+      let p =
+        Progen.generate ~seed ~modules:4 ~fns_per_module:4 ~annotated:false ()
+      in
+      check_equiv ~what:(Printf.sprintf "unannotated seed %d" seed) flags p)
+    [ 6; 7 ]
+
+let test_equiv_progen_modes () =
+  (* the loop-fixpoint and allocator-model paths route through the same
+     shared loop analyses; equality must hold there too *)
+  let p =
+    Progen.generate ~seed:11 ~modules:3 ~fns_per_module:5
+      ~bugs:Progen.all_bug_kinds ()
+  in
+  check_equiv ~what:"+loopexec"
+    { Flags.default with Flags.loop_exec = true }
+    p;
+  check_equiv ~what:"+allocmodel"
+    { Flags.default with Flags.alloc_model = true }
+    p;
+  check_equiv ~what:"+loopexec +allocmodel -allimponly"
+    Flags.(allimponly_off
+             { default with loop_exec = true; alloc_model = true })
+    p
+
+let test_equiv_figures () =
+  (* every figure program through both engines, in the stdlib
+     environment (the paper's own flag set) *)
+  List.iter
+    (fun (name, src) ->
+      let run flags =
+        render_result
+          (Stdspec.check ~flags:Flags.(allimponly_off flags)
+             ~file:(name ^ ".c") src)
+      in
+      Alcotest.(check string) name
+        (run Flags.default)
+        (run { Flags.default with Flags.tree_walk = true }))
+    [
+      ("fig1", Corpus.Figures.fig1_sample);
+      ("fig2", Corpus.Figures.fig2_sample_null);
+      ("fig3", Corpus.Figures.fig3_sample_fixed);
+      ("fig4", Corpus.Figures.fig4_sample_only_temp);
+      ("fig5", Corpus.Figures.fig5_list_addh);
+      ("fig5_fixed", Corpus.Figures.fig5_list_addh_fixed);
+      ("fig7", Corpus.Figures.fig7_erc_create);
+      ("fig8", Corpus.Figures.fig8_employee_setname);
+    ]
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "lowering",
+        [
+          Alcotest.test_case "fig1 golden" `Quick test_golden_fig1;
+          Alcotest.test_case "fig5 golden" `Quick test_golden_fig5;
+          Alcotest.test_case "fig7 golden" `Quick test_golden_fig7;
+        ] );
+      ("mutation", [ Alcotest.test_case "mutates_env" `Quick test_mutates_env ]);
+      ( "equivalence",
+        [
+          Alcotest.test_case "progen programs" `Quick test_equiv_progen;
+          Alcotest.test_case "analysis modes" `Quick test_equiv_progen_modes;
+          Alcotest.test_case "figure programs" `Quick test_equiv_figures;
+        ] );
+    ]

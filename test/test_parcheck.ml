@@ -70,6 +70,87 @@ let test_loopexec_seq_vs_parallel () =
   let par = render p4 (Parcheck.check_program ~jobs:4 p4) in
   Alcotest.(check string) "+loopexec sequential vs -j 4 JSON" seq par
 
+let test_progen_corpus_jobs () =
+  (* a generated multi-module corpus with seeded bugs: the per-procedure
+     work-stealing scheduler must stay byte-identical across -j 1/4/64 *)
+  let gen () =
+    Progen.analyse
+      (Progen.generate ~seed:23 ~modules:6 ~fns_per_module:8
+         ~bugs:Progen.all_bug_kinds ())
+  in
+  let run jobs =
+    let p = gen () in
+    render p (Parcheck.check_program ~jobs p)
+  in
+  let seq = run 1 in
+  Alcotest.(check bool) "some diagnostics produced" true
+    (String.length seq > 0);
+  Alcotest.(check string) "-j 1 vs -j 4" seq (run 4);
+  Alcotest.(check string) "-j 1 vs -j 64" seq (run 64)
+
+let test_task_granularity () =
+  (* non-mutating procedures fan out individually: far more tasks than
+     files *)
+  let p =
+    Progen.analyse (Progen.generate ~seed:5 ~modules:4 ~fns_per_module:6 ())
+  in
+  let files =
+    List.sort_uniq compare
+      (List.map
+         (fun ((fs : Sema.funsig), _) -> fs.Sema.fs_loc.Cfront.Loc.file)
+         (Sema.fundefs p))
+  in
+  Alcotest.(check bool) "per-procedure tasks" true
+    (Parcheck.task_count p > List.length files)
+
+let test_pool_and_counters () =
+  (* warm-pool reuse is observable, and parallel telemetry stays exact:
+     every worker's ticks are merged back, none lost, none doubled.
+     [oversubscribe] forces real helper domains even on a single-core
+     host, where the production driver would clamp to the core count *)
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+    (fun () ->
+      let run () =
+        Telemetry.reset ();
+        let r =
+          Parcheck.map_tasks ~oversubscribe:true ~jobs:4 64 (fun ~par:_ i ->
+              Telemetry.Counter.tick Telemetry.c_procedures;
+              i * i)
+        in
+        Alcotest.(check int) "results positional" (63 * 63) r.(63);
+        Telemetry.Counter.value Telemetry.c_procedures
+      in
+      Alcotest.(check int) "exact ticks, cold pool" 64 (run ());
+      Alcotest.(check int) "exact ticks, warm pool" 64 (run ());
+      (* the second run just reclaimed the three helper domains the
+         first one parked *)
+      Alcotest.(check bool) "pool reused" true
+        (Telemetry.Counter.value Telemetry.c_pool_reuses >= 3))
+
+let test_check_program_counters () =
+  (* through the full driver: the same number of procedures is counted
+     at every -j (exactness end to end) *)
+  Telemetry.set_enabled true;
+  Fun.protect
+    ~finally:(fun () ->
+      Telemetry.set_enabled false;
+      Telemetry.reset ())
+    (fun () ->
+      let procs jobs =
+        let p = analyze_examples () in
+        Telemetry.reset ();
+        ignore (Parcheck.check_program ~jobs p);
+        Telemetry.Counter.value Telemetry.c_procedures
+      in
+      let seq = procs 1 in
+      let par = procs 4 in
+      Alcotest.(check bool) "procedures counted" true (seq > 0);
+      Alcotest.(check int) "exact at -j 4" seq par)
+
 let () =
   Alcotest.run "parcheck"
     [
@@ -80,5 +161,16 @@ let () =
           Alcotest.test_case "default jobs" `Quick test_default_jobs;
           Alcotest.test_case "+loopexec sequential vs -j 4" `Quick
             test_loopexec_seq_vs_parallel;
+          Alcotest.test_case "progen corpus -j 1/4/64" `Quick
+            test_progen_corpus_jobs;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "per-procedure granularity" `Quick
+            test_task_granularity;
+          Alcotest.test_case "warm pool and exact counters" `Quick
+            test_pool_and_counters;
+          Alcotest.test_case "exact counters end to end" `Quick
+            test_check_program_counters;
         ] );
     ]
