@@ -542,12 +542,141 @@ let infer_exp () =
   let ratio num den = if den = 0 then 1.0 else float num /. float den in
   row "  %-24s %9d %9d %9d %10.2f %7.2f\n" "overall" td ti tm (ratio tm ti)
     (ratio tm td);
+  (* E16: fleet-scale guided inference on stripped generated corpora.
+     Rich corpora declare the properties the bodies already prove
+     (notnull on unconditionally-dereferenced parameters, never-null
+     allocating returns), giving inference a fuller ground truth than
+     the hand-annotated figures above.  Both arms re-derive the stripped
+     annotations bottom-up; the guided arm ranks candidates by the
+     name/shape heuristics and stops probing a function after two
+     rejected probes per pass ([-infer-budget 2]). *)
+  section "E16: fleet-scale ranker-guided inference (stripped corpora)";
+  row "  Stripped rich Progen corpora, re-inferred two ways: exhaustive\n";
+  row "  (grid ranker, the legacy probe order) vs guided (name/shape\n";
+  row "  rankers, probe budget 2).  Gate, on the large corpus: guided\n";
+  row "  recall >= exhaustive with >= 2x fewer probes, precision >= 0.95,\n";
+  row "  and a byte-identical inferred annotation set whether the corpus\n";
+  row "  is re-checked at -j 1 or -j 4.\n\n";
+  let gflags = Flags.default in
+  let corpora = [ ("progen_10k", 24, false); ("progen_100k", 240, true) ] in
+  let failures = ref [] in
+  let fleet_records =
+    List.map
+      (fun (cname, modules, gated) ->
+        let p =
+          Progen.generate ~seed:!seed_flag ~modules ~fns_per_module:25
+            ~annotated:true ~rich:true ()
+        in
+        let declared = declared_slots (analyze_files ~flags:gflags p.Progen.files) in
+        let stripped =
+          List.map
+            (fun (n, t) -> (n, Infer.strip_annotations t))
+            p.Progen.files
+        in
+        (* One inference arm: analyse the stripped corpus fresh, infer,
+           then re-check the annotated result through Parcheck. *)
+        let arm ?rankers ?budget ~jobs () =
+          let prog = analyze_files ~flags:gflags stripped in
+          let outcome, secs =
+            time (fun () -> Infer.run ?rankers ?budget prog)
+          in
+          let diags =
+            List.map Cfront.Diag.to_string
+              (Cfront.Diag.Collector.sort_emission
+                 (Parcheck.check_program ~jobs prog))
+          in
+          (prog, outcome, secs, diags)
+        in
+        let metrics (outcome : Infer.outcome) =
+          let inferred =
+            List.map
+              (fun (fd : Infer.finding) ->
+                (fd.Infer.fd_fun, slot_key fd.Infer.fd_slot, fd.Infer.fd_word))
+              outcome.Infer.out_findings
+          in
+          let matched = List.filter (fun k -> List.mem k declared) inferred in
+          (List.length inferred, List.length matched)
+        in
+        let _, out_e, secs_e, _ = arm ~rankers:[ Infer.Ranker.grid ] ~jobs:1 () in
+        let prog_g, out_g, secs_g, diags_g1 = arm ~budget:2 ~jobs:1 () in
+        let prog_g4, out_g4, _, diags_g4 = arm ~budget:2 ~jobs:4 () in
+        let render_g1 = Infer.render prog_g out_g
+        and render_g4 = Infer.render prog_g4 out_g4 in
+        let deterministic =
+          String.equal render_g1 render_g4 && diags_g1 = diags_g4
+        in
+        let nd = List.length declared in
+        let ni_e, nm_e = metrics out_e and ni_g, nm_g = metrics out_g in
+        let prec_e = ratio nm_e ni_e
+        and rec_e = ratio nm_e nd
+        and prec_g = ratio nm_g ni_g
+        and rec_g = ratio nm_g nd in
+        let probes_e = out_e.Infer.out_probes
+        and probes_g = out_g.Infer.out_probes in
+        let probe_ratio = ratio probes_e probes_g in
+        row "  %s: %d modules, %d lines, %d declared annotations\n" cname
+          modules p.Progen.loc nd;
+        row "    %-12s %9s %9s %10s %7s %8s %8s\n" "arm" "inferred" "matched"
+          "precision" "recall" "probes" "seconds";
+        row "    %-12s %9d %9d %10.2f %7.2f %8d %8.2f\n" "exhaustive" ni_e
+          nm_e prec_e rec_e probes_e secs_e;
+        row "    %-12s %9d %9d %10.2f %7.2f %8d %8.2f\n" "guided" ni_g nm_g
+          prec_g rec_g probes_g secs_g;
+        row "    probe ratio %.1fx, %d skipped by budget, -j 1 / -j 4 %s\n\n"
+          probe_ratio out_g.Infer.out_skipped
+          (if deterministic then "identical" else "DIVERGED");
+        if gated then begin
+          let fail fmt = Printf.ksprintf (fun m -> failures := m :: !failures) fmt in
+          if rec_g < rec_e then
+            fail "%s: guided recall %.3f below exhaustive %.3f" cname rec_g
+              rec_e;
+          if probes_e < 2 * probes_g then
+            fail "%s: probe ratio %.2fx below the 2x floor (%d vs %d)" cname
+              probe_ratio probes_e probes_g;
+          if prec_g < 0.95 then
+            fail "%s: guided precision %.3f below 0.95" cname prec_g;
+          if not deterministic then
+            fail "%s: inferred sets differ between -j 1 and -j 4" cname
+        end;
+        let arm_json ni nm prec rc probes secs skipped =
+          Telemetry.Json.(
+            Obj
+              [
+                ("inferred", Int ni);
+                ("matched", Int nm);
+                ("precision", Float prec);
+                ("recall", Float rc);
+                ("probes", Int probes);
+                ("skipped", Int skipped);
+                ("seconds", Float secs);
+              ])
+        in
+        Telemetry.Json.(
+          Obj
+            [
+              ("corpus", String cname);
+              ("modules", Int modules);
+              ("loc", Int p.Progen.loc);
+              ("declared", Int nd);
+              ( "exhaustive",
+                arm_json ni_e nm_e prec_e rec_e probes_e secs_e
+                  out_e.Infer.out_skipped );
+              ( "guided",
+                arm_json ni_g nm_g prec_g rec_g probes_g secs_g
+                  out_g.Infer.out_skipped );
+              ("probe_ratio", Float probe_ratio);
+              ("deterministic", Bool deterministic);
+              ("gated", Bool gated);
+            ]))
+      corpora
+  in
   let doc =
     Telemetry.Json.(
       Obj
         [
           ("experiment", String "infer");
           ("sources", List records);
+          ("fleet", List fleet_records);
           ( "overall",
             Obj
               [
@@ -563,7 +692,11 @@ let infer_exp () =
   output_string oc (Telemetry.Json.to_string doc);
   output_string oc "\n";
   close_out oc;
-  row "\n  wrote BENCH_infer.json\n"
+  row "\n  wrote BENCH_infer.json\n";
+  if !failures <> [] then begin
+    List.iter (fun m -> row "  GATE FAILED: %s\n" m) (List.rev !failures);
+    exit 3
+  end
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)

@@ -20,7 +20,8 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
-    timings json infer_report jobs server cache dump_flags dump_counters =
+    timings json infer_report infer_bulk infer_out infer_budget ranker_spec
+    jobs server cache dump_flags dump_counters =
   (* introspection hooks for the doc-drift gate (test/doc_drift.sh):
      machine-readable lists of every checking flag and every registered
      telemetry counter, to cross-check against docs/diagnostics.md *)
@@ -65,10 +66,27 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
     | svc -> Incr.Server.serve ?cache svc stdin stdout);
     exit 0
   end;
+  (* -ranker-spec: an external suggester joins the pipeline ahead of
+     the built-in rankers; its candidates are probed like any other *)
+  let rankers =
+    match ranker_spec with
+    | None -> Infer.Ranker.default
+    | Some path -> (
+        match
+          try Infer.Ranker.of_spec ~name:path (read_file path)
+          with Sys_error msg -> Error msg
+        with
+        | Ok r -> r :: Infer.Ranker.default
+        | Error msg ->
+            Printf.eprintf "olclint: -ranker-spec: %s\n" msg;
+            exit 2)
+  in
   let prog =
     if no_stdlib then Sema.create_program ~flags ~file:"<none>" ()
     else Stdspec.environment ~flags ()
   in
+  (* original file contents, kept for -infer-bulk's patch renderer *)
+  let sources = ref [] in
   (try
      List.iter
        (fun lib ->
@@ -85,7 +103,9 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
          let typedefs =
            Hashtbl.fold (fun k _ acc -> k :: acc) prog.Sema.p_typedefs []
          in
-         let tu = Cfront.Parser.parse_string ~typedefs ~file (read_file file) in
+         let text = read_file file in
+         sources := (file, text) :: !sources;
+         let tu = Cfront.Parser.parse_string ~typedefs ~file text in
          ignore (Sema.analyze ~flags ~into:prog tu))
        files
    with
@@ -99,15 +119,52 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
      checking: accepted annotations are installed into the symbol table,
      so [check_program] below sees them exactly as if they were
      declared.  [-infer] is report mode — print the synthesized
-     prototypes and stop; [+inferconstraints] keeps checking. *)
+     prototypes and stop; [-infer-bulk] is patch mode — emit a
+     ready-to-apply header patch; [+inferconstraints] keeps checking. *)
   let inference =
-    if infer_report || flags.Annot.Flags.infer_constraints then
-      Some (Infer.run prog)
+    if infer_report || infer_bulk || flags.Annot.Flags.infer_constraints then
+      Some (Infer.run ~rankers ?budget:infer_budget prog)
     else None
   in
-  match (infer_report, inference) with
-  | true, Some outcome ->
-      let plural n = if n = 1 then "" else "s" in
+  let plural n = if n = 1 then "" else "s" in
+  match (infer_bulk, infer_report, inference) with
+  | true, _, Some outcome ->
+      let patch =
+        Infer.render_patch prog outcome ~read:(fun f ->
+            List.assoc_opt f !sources)
+      in
+      (match infer_out with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc patch;
+          close_out oc
+      | None -> print_string patch);
+      (* -dump-lib composes: the saved interface library carries the
+         inferred annotations (with provenance), so a downstream
+         -load-lib re-checks modules against the bulk result without
+         re-running inference *)
+      (match dump_lib with
+      | Some path ->
+          let oc = open_out path in
+          output_string oc (Check.Libspec.save prog);
+          close_out oc
+      | None -> ());
+      (* the summary dodges whichever stream carries the patch *)
+      let summary_out = if infer_out = None then stderr else stdout in
+      Printf.fprintf summary_out
+        "%d annotation%s inferred for %d procedure%s (%d probe%s, %d \
+         skipped)\n"
+        (List.length outcome.Infer.out_findings)
+        (plural (List.length outcome.Infer.out_findings))
+        outcome.Infer.out_procedures
+        (plural outcome.Infer.out_procedures)
+        outcome.Infer.out_probes
+        (plural outcome.Infer.out_probes)
+        outcome.Infer.out_skipped;
+      if timings then Format.eprintf "%a%!" Telemetry.pp_timings ();
+      if stats then Format.eprintf "%a%!" Telemetry.pp_stats ();
+      0
+  | false, true, Some outcome ->
       print_string (Infer.render prog outcome);
       Printf.printf "%d annotation%s inferred for %d procedure%s (%d round%s)\n"
         (List.length outcome.Infer.out_findings)
@@ -237,6 +294,49 @@ let infer_arg =
            $(b,+inferconstraints) to infer and then check against the \
            synthesized annotations.  See docs/inference.md.")
 
+let infer_bulk_arg =
+  Arg.(
+    value & flag
+    & info [ "infer-bulk" ]
+        ~doc:
+          "Bottom-up annotation inference across the whole corpus of \
+           given files, emitting a ready-to-apply unified-diff header \
+           patch (to stdout, or to $(b,-infer-out) FILE) instead of \
+           checking.  Combine with $(b,-dump-lib) to save the inferred \
+           interface library for modular re-checking.  See \
+           docs/inference.md.")
+
+let infer_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "infer-out" ] ~docv:"FILE"
+        ~doc:"With $(b,-infer-bulk): write the header patch to FILE.")
+
+let infer_budget_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "infer-budget" ] ~docv:"N"
+        ~doc:
+          "Early-exit probe budget for inference: once N of a \
+           function's ranked candidates have been rejected, the \
+           remaining lower-ranked tail is skipped for that function \
+           (acceptances don't count).  Unset, every ranked candidate \
+           is probed.")
+
+let ranker_spec_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "ranker-spec" ] ~docv:"FILE"
+        ~doc:
+          "Load an external candidate-suggestion file for inference: one \
+           $(i,function slot word [prior]) line per candidate (slot is \
+           $(i,ret) or $(i,paramN)); suggestions join the built-in \
+           rankers and are verified by probing like any other \
+           candidate.  See docs/inference.md for the format.")
+
 let jobs_arg =
   Arg.(
     value & opt int 1
@@ -291,7 +391,8 @@ let cmd =
     Term.(
       const run $ files_arg $ flags_arg $ load_lib_arg $ lcl_arg
       $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
-      $ json_arg $ infer_arg $ jobs_arg $ server_arg $ cache_arg
+      $ json_arg $ infer_arg $ infer_bulk_arg $ infer_out_arg
+      $ infer_budget_arg $ ranker_spec_arg $ jobs_arg $ server_arg $ cache_arg
       $ dump_flags_arg $ dump_counters_arg)
 
 (* LCLint heritage: tolerate single-dash spellings of the long flags
@@ -316,6 +417,10 @@ let argv =
     | "-timings" :: rest -> "--timings" :: rewrite rest
     | "-json" :: rest -> "--json" :: rewrite rest
     | "-infer" :: rest -> "--infer" :: rewrite rest
+    | "-infer-bulk" :: rest -> "--infer-bulk" :: rewrite rest
+    | "-infer-out" :: rest -> "--infer-out" :: rewrite rest
+    | "-infer-budget" :: rest -> "--infer-budget" :: rewrite rest
+    | "-ranker-spec" :: rest -> "--ranker-spec" :: rewrite rest
     | "-jobs" :: rest -> "--jobs" :: rewrite rest
     | a :: rest when String.length a > 1 && a.[0] = '+' ->
         "-f" :: a :: rewrite rest

@@ -1,0 +1,10 @@
+/* Module 3 of the fleet example: the client.  Checks clean against the
+   hand annotations in modules 1-2, and again after the bulk-inference
+   patch restores them on the stripped sources. */
+int fleet_run(void)
+{
+  task *t = task_create(1);
+  int id = task_id(t);
+  task_destroy(t);
+  return id;
+}

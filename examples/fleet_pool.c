@@ -1,0 +1,32 @@
+/* Module 1 of the three-module "fleet" example: a byte buffer with a
+   constructor/destructor pair.  The hand annotations here are exactly
+   the set bulk inference re-derives:
+
+     olclint -infer-bulk examples/fleet_pool.c examples/fleet_task.c \
+         examples/fleet_main.c -infer-out fleet.diff
+
+   on the stripped sources emits a patch that restores every marker
+   below (tagged with the [inferred] provenance word); the round-trip
+   is pinned by test/test_infer_rankers.ml. */
+typedef struct _buf {
+  int len;
+  int used;
+} buf;
+
+/*@only@*/ /*@notnull@*/ buf *buf_create(int len)
+{
+  buf *b = (buf *) malloc(sizeof(buf));
+  if (b == NULL) {
+    exit(1);
+  }
+  b->len = len;
+  b->used = 0;
+  return b;
+}
+
+void buf_free(/*@only@*/ /*@null@*/ buf *b)
+{
+  if (b != NULL) {
+    free(b);
+  }
+}

@@ -1,0 +1,32 @@
+/* Module 2 of the fleet example: tasks own a buffer from module 1.
+   task_create / task_destroy exercise the name ranker across a module
+   boundary (the payload is released through buf_free); task_id's
+   unconditional dereference is the shape ranker's notnull case. */
+typedef struct _task {
+  int id;
+  buf *payload;
+} task;
+
+/*@only@*/ /*@notnull@*/ task *task_create(int id)
+{
+  task *t = (task *) malloc(sizeof(task));
+  if (t == NULL) {
+    exit(1);
+  }
+  t->id = id;
+  t->payload = buf_create(8);
+  return t;
+}
+
+void task_destroy(/*@only@*/ /*@null@*/ task *t)
+{
+  if (t != NULL) {
+    buf_free(t->payload);
+    free(t);
+  }
+}
+
+int task_id(/*@notnull@*/ task *t)
+{
+  return t->id;
+}

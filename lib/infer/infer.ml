@@ -33,8 +33,10 @@
 open Cfront
 module Ctype = Sema.Ctype
 module Callgraph = Callgraph
+module Ranker = Ranker
 
-type slot = Sret | Sparam of int [@@deriving eq, ord, show { with_path = false }]
+type slot = Ranker.slot = Sret | Sparam of int
+[@@deriving eq, ord, show { with_path = false }]
 
 (** One accepted annotation: [fd_word] (an Appendix-B keyword) on slot
     [fd_slot] of function [fd_fun]. *)
@@ -50,11 +52,34 @@ type outcome = {
   out_rounds : int;  (** fixpoint rounds across all components *)
   out_sccs : int;  (** strongly connected components visited *)
   out_procedures : int;  (** defined procedures considered *)
+  out_probes : int;  (** candidate probes executed *)
+  out_skipped : int;  (** ranked candidates skipped by the probe budget *)
 }
 
 (* ------------------------------------------------------------------ *)
 (* Annotation stripping (benchmarks, tests, the docs' worked example)  *)
 (* ------------------------------------------------------------------ *)
+
+(* A span whose word list carries the [inferred] provenance marker was
+   written by a previous inference pass, not by hand; stripping must
+   leave it alone so that stripping + re-inferring already-inferred
+   headers is idempotent (the second pass sees the same interface the
+   first pass produced and accepts nothing new). *)
+let span_is_inferred (src : string) ~(start : int) ~(stop : int) : bool =
+  (* content lies between the leading "/*@" and the trailing "*/" *)
+  let lo = start + 3 in
+  let hi = if stop >= 2 && stop - 2 >= lo then stop - 2 else lo in
+  let content = String.sub src lo (hi - lo) in
+  (* the closing "@*/" leaves a trailing '@' on the content *)
+  let content =
+    match String.rindex_opt content '@' with
+    | Some k when k = String.length content - 1 -> String.sub content 0 k
+    | _ -> content
+  in
+  String.split_on_char ' ' content
+  |> List.concat_map (String.split_on_char '\t')
+  |> List.concat_map (String.split_on_char '\n')
+  |> List.exists (String.equal "inferred")
 
 let strip_annotations (src : string) : string =
   let b = Bytes.of_string src in
@@ -78,9 +103,10 @@ let strip_annotations (src : string) : string =
            incr j
          done
        with Exit -> ());
-      for k = !i to !stop - 1 do
-        if Bytes.get b k <> '\n' then Bytes.set b k ' '
-      done;
+      if not (span_is_inferred src ~start:!i ~stop:!stop) then
+        for k = !i to !stop - 1 do
+          if Bytes.get b k <> '\n' then Bytes.set b k ' '
+        done;
       i := !stop
     end
     else incr i
@@ -91,71 +117,13 @@ let strip_annotations (src : string) : string =
 (* Candidates                                                          *)
 (* ------------------------------------------------------------------ *)
 
-type cand = { c_slot : slot; c_word : string }
-
-(* A slot already carrying reference-count qualifiers belongs to the
-   refcounting extension; its storage discipline is spoken for. *)
-let refcount_qualified (an : Annot.set) =
-  an.Annot.an_refcounted || an.Annot.an_newref || an.Annot.an_killref
-  || an.Annot.an_tempref
-
-(* Candidates are regenerated from the *current* signature after every
-   acceptance, so a filled category (explicit or freshly inferred)
-   stops proposing itself, and mutually exclusive pairs (out/only on
-   one parameter) cannot both install. *)
-let candidates (fs : Sema.funsig) : cand list =
-  if String.equal fs.Sema.fs_name "main" then []
-  else
-    let ret =
-      if not (Ctype.is_pointer fs.Sema.fs_ret) then []
-      else
-        let e = fs.Sema.fs_ret_annots in
-        let an = e.Sema.an in
-        if refcount_qualified an || an.Annot.an_expose <> None then []
-        else
-          (if an.Annot.an_alloc = None || e.Sema.alloc_implicit then
-             [ { c_slot = Sret; c_word = "only" } ]
-           else [])
-          @
-          if an.Annot.an_null = None then
-            [ { c_slot = Sret; c_word = "notnull" } ]
-          else []
-    in
-    let params =
-      List.concat
-        (List.mapi
-           (fun i (p : Sema.param) ->
-             if not (Ctype.is_pointer p.Sema.pr_ty) then []
-             else
-               let e = p.Sema.pr_annots in
-               let an = e.Sema.an in
-               if refcount_qualified an || an.Annot.an_expose <> None then []
-               else
-                 let definable =
-                   match Ctype.deref (Ctype.unroll p.Sema.pr_ty) with
-                   | Some t ->
-                       (not (Ctype.is_void (Ctype.unroll t)))
-                       && not (Ctype.is_function (Ctype.unroll t))
-                   | None -> false
-                 in
-                 (if
-                    an.Annot.an_def = None
-                    && an.Annot.an_alloc <> Some Annot.Only
-                    && definable
-                  then [ { c_slot = Sparam i; c_word = "out" } ]
-                  else [])
-                 @ (if
-                      (an.Annot.an_alloc = None || e.Sema.alloc_implicit)
-                      && an.Annot.an_def <> Some Annot.Out
-                    then [ { c_slot = Sparam i; c_word = "only" } ]
-                    else [])
-                 @
-                 if an.Annot.an_null = None then
-                   [ { c_slot = Sparam i; c_word = "null" } ]
-                 else [])
-           fs.Sema.fs_params)
-    in
-    params @ ret
+(* Candidate generation now lives in {!Ranker}: the grid this engine
+   used to enumerate inline is {!Ranker.grid}, and {!Ranker.pipeline}
+   merges it with the heuristic and external rankers, re-filtering
+   against the *current* signature — so a filled category (explicit or
+   freshly inferred) stops proposing itself, and mutually exclusive
+   pairs (out/only on one parameter) cannot both install. *)
+type cand = Ranker.candidate
 
 (* Install a candidate into a signature.  Inferred [only] replaces the
    implicit allocation assumption, so [alloc_implicit] drops: checker
@@ -164,7 +132,7 @@ let apply_cand (fs : Sema.funsig) (c : cand) : Sema.funsig =
   let upd (e : Sema.eannot) : Sema.eannot =
     let an = e.Sema.an in
     let an, alloc_implicit =
-      match c.c_word with
+      match c.Ranker.rc_word with
       | "notnull" ->
           ({ an with Annot.an_null = Some Annot.NotNull }, e.Sema.alloc_implicit)
       | "null" ->
@@ -175,7 +143,7 @@ let apply_cand (fs : Sema.funsig) (c : cand) : Sema.funsig =
     in
     { Sema.an = Annot.mark_inferred an; alloc_implicit }
   in
-  match c.c_slot with
+  match c.Ranker.rc_slot with
   | Sret -> { fs with Sema.fs_ret_annots = upd fs.Sema.fs_ret_annots }
   | Sparam i ->
       {
@@ -263,7 +231,7 @@ let no_new_diags ~(before : Diag.t list) ~(after : Diag.t list) : bool =
    returned value must demonstrably be never-null / obligation-carrying
    at every observed exit. *)
 let ret_gate (c : cand) (exits : Check.Checker.exit_info list) : bool =
-  match (c.c_slot, c.c_word) with
+  match (c.Ranker.rc_slot, c.Ranker.rc_word) with
   | Sret, "notnull" ->
       exits <> []
       && List.for_all
@@ -280,6 +248,20 @@ let ret_gate (c : cand) (exits : Check.Checker.exit_info list) : bool =
              | Some (_, a) -> Check.State.has_obligation a
              | None -> false)
            exits
+  | Sret, "null" ->
+      (* a [null] return claim is free locally (it only obliges
+         callers), so demand positive evidence: some observed exit
+         really can hand back null.  Only the shape ranker proposes
+         this (NULL-returning allocator wrappers); the grid never did. *)
+      exits <> []
+      && List.exists
+           (fun (xi : Check.Checker.exit_info) ->
+             match xi.Check.Checker.xi_ret with
+             | Some (n, _) ->
+                 Check.State.equal_nullstate n Check.State.NSnull
+                 || Check.State.equal_nullstate n Check.State.NSpossnull
+             | None -> false)
+           exits
   | _ -> true
 
 (* Probe one candidate.  On acceptance the annotated signature stays
@@ -293,7 +275,7 @@ let try_cand (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
      flags the baseline already carries the implicit only, and probing
      the explicit spelling against it would measure nothing. *)
   let base_fs =
-    match (c.c_slot, c.c_word) with
+    match (c.Ranker.rc_slot, c.Ranker.rc_word) with
     | Sret, "only" ->
         let e = fs0.Sema.fs_ret_annots in
         {
@@ -333,7 +315,8 @@ let try_cand (prog : Sema.program) (bodies : (string, Ast.fundef) Hashtbl.t)
 
 let default_max_rounds = 4
 
-let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
+let run ?(max_rounds = default_max_rounds) ?(rankers = Ranker.default) ?budget
+    (prog : Sema.program) : outcome =
   Telemetry.with_span ~file:prog.Sema.p_file Telemetry.phase_infer @@ fun () ->
   let bodies = Hashtbl.create 16 in
   List.iter
@@ -345,6 +328,8 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
   let findings = ref [] in
   let rounds_total = ref 0 in
   let procedures = ref 0 in
+  let probes_total = ref 0 in
+  let skipped_total = ref 0 in
   let do_component comp =
     let members = List.filter (Hashtbl.mem bodies) comp in
     procedures := !procedures + List.length members;
@@ -360,32 +345,64 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
       in
       let baseline = component_count () in
       let accepted = ref [] (* newest first *) in
-      (* Probe this function's slots until nothing more sticks;
-         candidates regenerate from the updated signature after every
-         acceptance. *)
+      (* Probe this function's ranked candidates until nothing more
+         sticks; candidates regenerate from the updated signature after
+         every acceptance (so a filled slot stops proposing itself) and
+         are probed highest-prior-first.  The early-exit budget bounds
+         *rejected* probes per function across the component fixpoint:
+         once [budget] of a function's candidates have failed, the
+         remaining (lower-ranked) tail is skipped in this and every
+         later pass — acceptances don't count against it.  Without a
+         budget every rejected candidate is re-probed each round, which
+         is what the exhaustive baseline does. *)
+      let rejected_tbl : (string, int ref) Hashtbl.t = Hashtbl.create 8 in
       let improve name =
         let improved = ref false in
+        let rejections =
+          match Hashtbl.find_opt rejected_tbl name with
+          | Some r -> r
+          | None ->
+              let r = ref 0 in
+              Hashtbl.add rejected_tbl name r;
+              r
+        in
+        let exhausted () =
+          match budget with Some b -> !rejections >= b | None -> false
+        in
         let again = ref true in
         while !again do
           again := false;
           let fs = Hashtbl.find prog.Sema.p_funcs name in
-          match
-            List.find_opt
-              (fun c -> try_cand prog bodies cache name c)
-              (candidates fs)
-          with
-          | Some c ->
-              accepted :=
-                {
-                  fd_fun = name;
-                  fd_slot = c.c_slot;
-                  fd_word = c.c_word;
-                  fd_loc = fs.Sema.fs_loc;
-                }
-                :: !accepted;
-              improved := true;
-              again := true
-          | None -> ()
+          let body = Hashtbl.find_opt bodies name in
+          let cands = Ranker.pipeline rankers prog fs body in
+          Telemetry.Counter.add Telemetry.c_infer_candidates
+            (List.length cands);
+          let rec probe = function
+            | [] -> ()
+            | rest when exhausted () ->
+                let n = List.length rest in
+                skipped_total := !skipped_total + n;
+                Telemetry.Counter.add Telemetry.c_infer_probes_skipped n
+            | c :: rest ->
+                incr probes_total;
+                if try_cand prog bodies cache name c then begin
+                  accepted :=
+                    {
+                      fd_fun = name;
+                      fd_slot = c.Ranker.rc_slot;
+                      fd_word = c.Ranker.rc_word;
+                      fd_loc = fs.Sema.fs_loc;
+                    }
+                    :: !accepted;
+                  improved := true;
+                  again := true
+                end
+                else begin
+                  incr rejections;
+                  probe rest
+                end
+          in
+          probe cands
         done;
         !improved
       in
@@ -410,7 +427,12 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
           (fun fd ->
             let fs = Hashtbl.find prog.Sema.p_funcs fd.fd_fun in
             Sema.update_funsig prog
-              (apply_cand fs { c_slot = fd.fd_slot; c_word = fd.fd_word }))
+              (apply_cand fs
+                 {
+                   Ranker.rc_slot = fd.fd_slot;
+                   rc_word = fd.fd_word;
+                   rc_prior = 0.;
+                 }))
           (List.rev kept_newest_first)
       in
       while component_count () > baseline && !accepted <> [] do
@@ -427,6 +449,8 @@ let run ?(max_rounds = default_max_rounds) (prog : Sema.program) : outcome =
     out_rounds = !rounds_total;
     out_sccs = List.length comps;
     out_procedures = !procedures;
+    out_probes = !probes_total;
+    out_skipped = !skipped_total;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -469,3 +493,261 @@ let render (prog : Sema.program) (o : outcome) : string =
                (prototype fs fds)))
     (Sema.func_order prog);
   Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Header patches (-infer-bulk)                                        *)
+(* ------------------------------------------------------------------ *)
+
+let is_ident_char ch =
+  (ch >= 'a' && ch <= 'z')
+  || (ch >= 'A' && ch <= 'Z')
+  || (ch >= '0' && ch <= '9')
+  || ch = '_'
+
+(* Splice [/*@word@*/ ] markers into the source line that opens the
+   function's definition.  Return slots insert at the head of the
+   declaration (after a leading [static]/[extern]); parameter slots
+   insert after the opening parenthesis / the separating top-level
+   comma.  [None] when the line doesn't carry the expected shape (e.g.
+   a signature folded across several lines) — the caller then falls
+   back to reporting the prototype instead of patching. *)
+let splice_line (line : string) (fs : Sema.funsig) (fds : finding list) :
+    string option =
+  let n = String.length line in
+  let name = fs.Sema.fs_name in
+  let nl = String.length name in
+  (* find the definition's name: a standalone identifier followed by a
+     parenthesis *)
+  let rec find_name i =
+    if i + nl > n then None
+    else if
+      String.sub line i nl = name
+      && (i = 0 || not (is_ident_char line.[i - 1]))
+      && i + nl < n
+      &&
+      let rec after j =
+        if j >= n then false
+        else if line.[j] = ' ' || line.[j] = '\t' then after (j + 1)
+        else line.[j] = '('
+      in
+      after (i + nl)
+    then Some i
+    else find_name (i + 1)
+  in
+  match find_name 0 with
+  | None -> None
+  | Some name_at -> (
+      let lparen = String.index_from line (name_at + nl) '(' in
+      (* insertion point for the return slot: after indentation and a
+         storage-class keyword, before the return type *)
+      let ret_at =
+        let rec skip_ws i =
+          if i < n && (line.[i] = ' ' || line.[i] = '\t') then skip_ws (i + 1)
+          else i
+        in
+        let i = skip_ws 0 in
+        let skip_kw kw i =
+          let kl = String.length kw in
+          if
+            i + kl < n
+            && String.sub line i kl = kw
+            && not (is_ident_char line.[i + kl])
+          then skip_ws (i + kl)
+          else i
+        in
+        skip_kw "extern" (skip_kw "static" i)
+      in
+      (* parameter start offsets: after '(' and after each top-level ',' *)
+      let param_starts =
+        let acc = ref [] in
+        let depth = ref 0 in
+        let i = ref lparen in
+        (try
+           while !i < n do
+             (match line.[!i] with
+             | '(' ->
+                 incr depth;
+                 if !depth = 1 then acc := (!i + 1) :: !acc
+             | ')' -> decr depth;
+                 if !depth = 0 then raise Exit
+             | ',' -> if !depth = 1 then acc := (!i + 1) :: !acc
+             | _ -> ());
+             incr i
+           done
+         with Exit -> ());
+        List.rev_map
+          (fun p ->
+            let rec skip_ws i =
+              if i < n && (line.[i] = ' ' || line.[i] = '\t') then
+                skip_ws (i + 1)
+              else i
+            in
+            skip_ws p)
+          !acc
+      in
+      (* the [inferred] marker records machine provenance in the patched
+         source: {!strip_annotations} leaves such spans alone, so
+         re-running bulk inference over an applied patch is a no-op *)
+      let words slot =
+        String.concat ""
+          (List.filter_map
+             (fun fd ->
+               if equal_slot fd.fd_slot slot then
+                 Some ("/*@" ^ fd.fd_word ^ " inferred@*/ ")
+               else None)
+             fds)
+      in
+      let insertions = ref [] in
+      let ok = ref true in
+      (match words Sret with
+      | "" -> ()
+      | w -> insertions := (ret_at, w) :: !insertions);
+      List.iteri
+        (fun i (_ : Sema.param) ->
+          match words (Sparam i) with
+          | "" -> ()
+          | w -> (
+              match List.nth_opt param_starts i with
+              | Some p -> insertions := (p, w) :: !insertions
+              | None -> ok := false))
+        fs.Sema.fs_params;
+      if not !ok then None
+      else
+        (* splice right-to-left so earlier offsets stay valid *)
+        let sorted =
+          List.sort (fun (a, _) (b, _) -> compare b a) !insertions
+        in
+        Some
+          (List.fold_left
+             (fun line (pos, text) ->
+               String.sub line 0 pos ^ text
+               ^ String.sub line pos (String.length line - pos))
+             line sorted))
+
+(* One single-line hunk per newly annotated definition, grouped by file
+   in source order.  [read] supplies the original file contents (bulk
+   mode retains them from parsing); definitions whose opening line
+   cannot be respliced — folded signatures, macro trickery — degrade to
+   a "manual" comment line carrying the rendered prototype, so the
+   patch stays appliable. *)
+let render_patch (prog : Sema.program) (o : outcome)
+    ~(read : string -> string option) : string =
+  let file_order = ref [] in
+  let hunks : (string, (int * string * string * string) list ref) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  let manual = Buffer.create 0 in
+  List.iter
+    (fun name ->
+      match
+        ( List.filter (fun fd -> String.equal fd.fd_fun name) o.out_findings,
+          Hashtbl.find_opt prog.Sema.p_funcs name )
+      with
+      | [], _ | _, None -> ()
+      | fds, Some fs -> (
+          let file = fs.Sema.fs_loc.Loc.file in
+          let lineno = fs.Sema.fs_loc.Loc.line in
+          let fallback () =
+            Buffer.add_string manual
+              (Printf.sprintf "# manual: %s: %s\n"
+                 (Loc.to_string fs.Sema.fs_loc)
+                 (prototype fs fds))
+          in
+          match read file with
+          | None -> fallback ()
+          | Some text -> (
+              let lines = String.split_on_char '\n' text in
+              match List.nth_opt lines (lineno - 1) with
+              | None -> fallback ()
+              | Some old_line -> (
+                  match splice_line old_line fs fds with
+                  | None -> fallback ()
+                  | Some new_line ->
+                      let cell =
+                        match Hashtbl.find_opt hunks file with
+                        | Some c -> c
+                        | None ->
+                            let c = ref [] in
+                            Hashtbl.add hunks file c;
+                            file_order := file :: !file_order;
+                            c
+                      in
+                      cell := (lineno, name, old_line, new_line) :: !cell))))
+    (Sema.func_order prog);
+  let buf = Buffer.create 1024 in
+  Buffer.add_buffer buf manual;
+  List.iter
+    (fun file ->
+      let hs =
+        List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b)
+          !(Hashtbl.find hunks file)
+      in
+      Buffer.add_string buf (Printf.sprintf "--- a/%s\n+++ b/%s\n" file file);
+      List.iter
+        (fun (lineno, name, old_line, new_line) ->
+          Buffer.add_string buf
+            (Printf.sprintf "@@ -%d,1 +%d,1 @@ %s\n-%s\n+%s\n" lineno lineno
+               name old_line new_line))
+        hs)
+    (List.rev !file_order);
+  Buffer.contents buf
+
+let apply_patch (patch : string) (files : (string * string) list) :
+    ((string * string) list, string) result =
+  let contents : (string, string array) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun (f, text) ->
+      Hashtbl.replace contents f
+        (Array.of_list (String.split_on_char '\n' text)))
+    files;
+  let current = ref None in
+  let err = ref None in
+  let fail msg = if !err = None then err := Some msg in
+  let pending_old = ref None in
+  let pending_line = ref 0 in
+  let lines = String.split_on_char '\n' patch in
+  List.iter
+    (fun line ->
+      if !err = None then
+        let starts p =
+          String.length line >= String.length p
+          && String.sub line 0 (String.length p) = p
+        in
+        if starts "# " || String.equal line "" then ()
+        else if starts "--- a/" then
+          let f = String.sub line 6 (String.length line - 6) in
+          if Hashtbl.mem contents f then current := Some f
+          else fail ("patch names unknown file " ^ f)
+        else if starts "+++ b/" then ()
+        else if starts "@@ " then (
+          match Scanf.sscanf_opt line "@@ -%d,%d +%d,%d" (fun a b c d -> (a, b, c, d)) with
+          | Some (a, 1, c, 1) when a = c -> pending_line := a
+          | _ -> fail ("bad hunk header: " ^ line))
+        else if starts "-" then
+          pending_old := Some (String.sub line 1 (String.length line - 1))
+        else if starts "+" then (
+          let new_line = String.sub line 1 (String.length line - 1) in
+          match (!current, !pending_old) with
+          | Some f, Some old_line -> (
+              let arr = Hashtbl.find contents f in
+              let i = !pending_line - 1 in
+              if i < 0 || i >= Array.length arr then
+                fail (Printf.sprintf "%s:%d: line out of range" f !pending_line)
+              else if not (String.equal arr.(i) old_line) then
+                fail
+                  (Printf.sprintf "%s:%d: context mismatch (got %S)" f
+                     !pending_line arr.(i))
+              else (
+                arr.(i) <- new_line;
+                pending_old := None))
+          | _ -> fail "misplaced + line")
+        else fail ("unrecognized patch line: " ^ line))
+    lines;
+  match !err with
+  | Some msg -> Error msg
+  | None ->
+      Ok
+        (List.map
+           (fun (f, _) ->
+             (f, String.concat "\n" (Array.to_list (Hashtbl.find contents f))))
+           files)

@@ -198,13 +198,18 @@ let buf_add = Buffer.add_string
 (** Emit one module: a record type, an annotated create/destroy pair,
     accessors, and small worker functions.  When [annotated] is false the
     memory annotations are omitted (the "starting program" of the paper's
-    iteration).  [bug] optionally seeds one bug into a dedicated carrier
-    function. *)
-let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
-    ~(bug : bug_kind option) : string * string list =
+    iteration).  [rich] additionally declares the properties the bodies
+    already prove but the base templates leave implicit — [notnull] on
+    unconditionally dereferenced parameters and on never-null allocating
+    returns — giving the inference benchmarks a fuller ground truth to
+    strip and re-derive.  [bug] optionally seeds one bug into a dedicated
+    carrier function. *)
+let gen_module ~rich ~annotated ~(rng : rng) ~(index : int)
+    ~(fns : int) ~(bug : bug_kind option) : string * string list =
   let b = Buffer.create 4096 in
   let m = Printf.sprintf "m%d" index in
   let an s = if annotated then s ^ " " else "" in
+  let rich_an s = if annotated && rich then s ^ " " else "" in
   let pf fmt = Printf.ksprintf (buf_add b) fmt in
   pf "/* module %s -- generated */\n\n" m;
   pf "typedef struct _%s_rec {\n" m;
@@ -214,7 +219,8 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
   pf "  char tag[8];\n";
   pf "} %s_rec;\n\n" m;
   (* create *)
-  pf "%s%s_rec *%s_create(int id)\n{\n" (an "/*@only@*/") m m;
+  pf "%s%s%s_rec *%s_create(int id)\n{\n" (an "/*@only@*/")
+    (rich_an "/*@notnull@*/") m m;
   pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
   pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
   pf "  r->id = id;\n";
@@ -223,17 +229,20 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
   pf "  r->tag[0] = '\\0';\n";
   pf "  return r;\n}\n\n";
   (* set label *)
-  pf "void %s_set_label(%s_rec *r, char *text)\n{\n" m m;
+  pf "void %s_set_label(%s%s_rec *r, char *text)\n{\n" m
+    (rich_an "/*@notnull@*/") m;
   pf "  if (r->label != NULL) {\n    free(r->label);\n  }\n";
   pf "  r->label = strdup(text);\n";
   pf "}\n\n";
   (* destroy *)
-  pf "void %s_destroy(%s%s_rec *r)\n{\n" m (an "/*@only@*/") m;
+  pf "void %s_destroy(%s%s%s_rec *r)\n{\n" m (an "/*@only@*/")
+    (rich_an "/*@notnull@*/") m;
   pf "  if (r->label != NULL) {\n    free(r->label);\n  }\n";
   pf "  free(r);\n}\n\n";
   (* accessors *)
-  pf "int %s_weight(%s_rec *r)\n{\n  return r->weight;\n}\n\n" m m;
-  pf "void %s_bump(%s_rec *r, int by)\n{\n" m m;
+  pf "int %s_weight(%s%s_rec *r)\n{\n  return r->weight;\n}\n\n" m
+    (rich_an "/*@notnull@*/") m;
+  pf "void %s_bump(%s%s_rec *r, int by)\n{\n" m (rich_an "/*@notnull@*/") m;
   pf "  r->weight = r->weight + by;\n}\n\n";
   (* worker functions with loops/branches to give the checker real work *)
   for k = 0 to max 0 (fns - 1) do
@@ -247,14 +256,15 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
           (2 + rand_int rng 5);
         pf "  }\n  return acc;\n}\n\n"
     | 1 ->
-        pf "int %s_scan%d(char *s)\n{\n" m k;
+        pf "int %s_scan%d(%schar *s)\n{\n" m k (rich_an "/*@notnull@*/");
         pf "  int count;\n  count = 0;\n";
         pf "  while (*s != '\\0') {\n";
         pf "    if (*s == '%c') {\n      count = count + 1;\n    }\n"
           (Char.chr (Char.code 'a' + rand_int rng 26));
         pf "    s = s + 1;\n  }\n  return count;\n}\n\n"
     | _ ->
-        pf "%s%s_rec *%s_clone%d(%s_rec *r)\n{\n" (an "/*@only@*/") m m k m;
+        pf "%s%s%s_rec *%s_clone%d(%s%s_rec *r)\n{\n" (an "/*@only@*/")
+          (rich_an "/*@notnull@*/") m m k (rich_an "/*@notnull@*/") m;
         pf "  %s_rec *c = %s_create(r->id);\n" m m;
         pf "  c->weight = r->weight;\n";
         pf "  if (r->label != NULL) {\n";
@@ -270,7 +280,9 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
     pf "  %sstruct _%s_node *next;\n" (an "/*@null@*/ /*@only@*/") m;
     pf "} %s_node;\n\n" m;
     pf "%s%s_node *%s_push(%s%s_node *head, int value)\n{\n"
-      (an "/*@null@*/ /*@only@*/") m m
+      (if annotated && rich then "/*@only@*/ /*@notnull@*/ "
+       else an "/*@null@*/ /*@only@*/")
+      m m
       (an "/*@null@*/ /*@only@*/") m;
     pf "  %s_node *n = (%s_node *) malloc(sizeof(%s_node));\n" m m m;
     pf "  if (n == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
@@ -296,12 +308,14 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
     pf "  }\n}\n\n"
   end;
   if fns > 4 then begin
-    pf "%schar *%s_describe(%s_rec *r)\n{\n" (an "/*@only@*/") m m;
+    pf "%s%schar *%s_describe(%s%s_rec *r)\n{\n" (an "/*@only@*/")
+      (rich_an "/*@notnull@*/") m (rich_an "/*@notnull@*/") m;
     pf "  char *buf = (char *) malloc(64);\n";
     pf "  if (buf == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
     pf "  sprintf(buf, \"rec %%d w=%%d\", r->id, r->weight);\n";
     pf "  return buf;\n}\n\n";
-    pf "int %s_same_label(%s_rec *a, char *text)\n{\n" m m;
+    pf "int %s_same_label(%s%s_rec *a, char *text)\n{\n" m
+      (rich_an "/*@notnull@*/") m;
     pf "  if (a->label == NULL) {\n    return FALSE;\n  }\n";
     pf "  return strcmp(a->label, text) == 0;\n}\n\n"
   end;
@@ -460,7 +474,8 @@ let gen_module ~annotated ~(rng : rng) ~(index : int) ~(fns : int)
     - [coverage]: fraction (0..1) of seeded-bug carriers the driver calls
       — run-time checking sees only what runs. *)
 let generate ?(seed = 42) ?(modules = 4) ?(fns_per_module = 6)
-    ?(annotated = true) ?(bugs = []) ?(coverage = 1.0) () : program =
+    ?(annotated = true) ?(rich = false) ?(bugs = []) ?(coverage = 1.0) () :
+    program =
   let rng = mk_rng seed in
   let nbugs = List.length bugs in
   let seeded = ref [] in
@@ -468,7 +483,7 @@ let generate ?(seed = 42) ?(modules = 4) ?(fns_per_module = 6)
   for i = 0 to modules - 1 do
     let bug = List.nth_opt bugs i in
     let text, carriers =
-      gen_module ~annotated ~rng ~index:i ~fns:fns_per_module ~bug
+      gen_module ~rich ~annotated ~rng ~index:i ~fns:fns_per_module ~bug
     in
     files := (Printf.sprintf "m%d.c" i, text) :: !files;
     List.iter

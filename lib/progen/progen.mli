@@ -75,9 +75,14 @@ val expected_dynamic : executed:bool -> bug_kind -> [ `Error | `Leak | `Nothing 
 
 val generate :
   ?seed:int -> ?modules:int -> ?fns_per_module:int -> ?annotated:bool ->
-  ?bugs:bug_kind list -> ?coverage:float -> unit -> program
+  ?rich:bool -> ?bugs:bug_kind list -> ?coverage:float -> unit -> program
 (** Generate a program.  [bugs] are assigned to modules round-robin;
-    [coverage] is the fraction of bug carriers the driver executes. *)
+    [coverage] is the fraction of bug carriers the driver executes.
+    [rich] (with [annotated]) additionally declares the properties the
+    generated bodies already prove — [notnull] on unconditionally
+    dereferenced parameters and never-null allocating returns — the
+    fuller ground truth the inference benchmark strips and re-derives;
+    default output is byte-identical to [rich:false]. *)
 
 val analyse : ?flags:Annot.Flags.t -> program -> Sema.program
 (** Parse and analyse into a fresh stdlib environment. *)

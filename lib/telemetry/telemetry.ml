@@ -208,6 +208,8 @@ let c_srefs_interned = Counter.make "srefs_interned"
 let c_infer_rounds = Counter.make "infer_rounds"
 let c_infer_summaries = Counter.make "infer_summaries"
 let c_infer_annots = Counter.make "infer_annotations"
+let c_infer_candidates = Counter.make "infer_candidates"
+let c_infer_probes_skipped = Counter.make "infer_probes_skipped"
 let c_suppressed = Counter.make "suppressed_total"
 let c_difftest_trials = Counter.make "difftest_trials"
 let c_difftest_findings = Counter.make "difftest_findings"

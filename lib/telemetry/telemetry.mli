@@ -129,6 +129,14 @@ val c_infer_summaries : Counter.t
 val c_infer_annots : Counter.t
 (** Annotations accepted (installed) by inference. *)
 
+val c_infer_candidates : Counter.t
+(** Candidates produced by the ranker pipeline (counted at every
+    generation, so re-ranking after an acceptance counts again). *)
+
+val c_infer_probes_skipped : Counter.t
+(** Ranked candidates never probed because the per-function probe
+    budget ([-infer-budget]) was exhausted first. *)
+
 val c_suppressed : Counter.t
 (** Diagnostics silenced by stylized suppression comments. *)
 

@@ -21,7 +21,7 @@ fail() {
 }
 
 expect_contains() { # haystack-file needle description
-  grep -qF "$2" "$1" || { cat "$1" >&2; fail "$3"; }
+  grep -qF -- "$2" "$1" || { cat "$1" >&2; fail "$3"; }
 }
 
 # --- Figure 4 through the CLI -------------------------------------------
@@ -277,6 +277,61 @@ expect_contains "$tmp/err" "infer_annotations" "-stats surfaces accepted annotat
 "$OLCLINT" "$EXAMPLES/list.c" > "$tmp/base1" 2>&1
 "$OLCLINT" "$EXAMPLES/list.c" > "$tmp/base2" 2>&1
 cmp -s "$tmp/base1" "$tmp/base2" || fail "checking without inference must stay deterministic"
+
+# --- bulk inference: -infer-bulk / -infer-out ------------------------------
+# The fleet examples ship hand-annotated; strip the spans into $tmp so bulk
+# mode has something to rediscover.
+for f in fleet_pool fleet_task fleet_main; do
+  sed 's|/\*@[^@]*@\*/ *||g' "$EXAMPLES/$f.c" > "$tmp/$f.c"
+done
+"$OLCLINT" -infer-bulk "$tmp/fleet_pool.c" "$tmp/fleet_task.c" \
+    "$tmp/fleet_main.c" -infer-out "$tmp/fleet.diff" > "$tmp/out" 2>&1 \
+  || fail "-infer-bulk should exit 0"
+expect_contains "$tmp/out" "annotations inferred" "-infer-bulk summary line"
+expect_contains "$tmp/fleet.diff" "+++ b/" "-infer-bulk emits unified-diff hunks"
+expect_contains "$tmp/fleet.diff" "@@ " "-infer-bulk hunks carry line ranges"
+grep -q "inferred@\*/" "$tmp/fleet.diff" \
+  || fail "-infer-bulk spans should carry the inferred provenance word"
+
+# on the already-annotated originals bulk has nothing left to infer
+"$OLCLINT" -infer-bulk "$EXAMPLES/fleet_pool.c" "$EXAMPLES/fleet_task.c" \
+    "$EXAMPLES/fleet_main.c" -infer-out "$tmp/noop.diff" > "$tmp/out" 2>&1 \
+  || fail "-infer-bulk on annotated sources should exit 0"
+expect_contains "$tmp/out" "0 annotations inferred" "-infer-bulk no-op summary"
+[ ! -s "$tmp/noop.diff" ] || fail "-infer-bulk no-op patch should be empty"
+
+# without -infer-out the patch lands on stdout, the summary on stderr
+"$OLCLINT" -infer-bulk "$EXAMPLES/list_plain.c" > "$tmp/patch" 2> "$tmp/err"
+expect_contains "$tmp/patch" "--- a/" "-infer-bulk stdout patch"
+expect_contains "$tmp/err" "annotations inferred" "-infer-bulk stderr summary"
+
+# --- the probe budget: -infer-budget ---------------------------------------
+"$OLCLINT" -q -stats -infer -infer-budget 1 "$EXAMPLES/list_plain.c" \
+    > "$tmp/out" 2> "$tmp/err" || fail "-infer-budget should exit 0"
+expect_contains "$tmp/err" "infer_probes_skipped" \
+  "-infer-budget surfaces skipped probes in -stats"
+budget_n=$("$OLCLINT" -infer -infer-budget 1 "$EXAMPLES/list_plain.c" \
+    | sed -n 's/^\([0-9]*\) annotations inferred.*/\1/p')
+full_n=$("$OLCLINT" -infer "$EXAMPLES/list_plain.c" \
+    | sed -n 's/^\([0-9]*\) annotations inferred.*/\1/p')
+[ -n "$budget_n" ] && [ -n "$full_n" ] && [ "$budget_n" -le "$full_n" ] \
+  || fail "a budgeted run should never infer more than an unbudgeted one"
+
+# --- external suggesters: -ranker-spec -------------------------------------
+cat > "$tmp/good.spec" <<'SEOF'
+# suggest the constructor's interface up front
+elem_create ret only 0.97
+elem_create ret notnull
+SEOF
+"$OLCLINT" -infer -ranker-spec "$tmp/good.spec" "$EXAMPLES/list_plain.c" \
+    > "$tmp/out" 2>&1 || fail "-ranker-spec with a valid file should exit 0"
+expect_contains "$tmp/out" "elem_create" "-ranker-spec run still reports"
+
+printf 'elem_create bogus only\n' > "$tmp/bad.spec"
+"$OLCLINT" -infer -ranker-spec "$tmp/bad.spec" "$EXAMPLES/list_plain.c" \
+    > "$tmp/out" 2> "$tmp/err"
+[ "$?" -eq 2 ] || fail "a malformed -ranker-spec should exit 2"
+expect_contains "$tmp/err" "bad.spec:1:" "-ranker-spec errors cite file:line"
 
 # --- oldiff: differential fuzzing ------------------------------------------
 "$OLDIFF" -seed 42 -runs 3 > "$tmp/out" 2>&1 \

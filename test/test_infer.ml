@@ -265,6 +265,56 @@ let test_strip_roundtrip_parses () =
   Alcotest.(check bool) "stripped fig5 still defines list_addh" true
     (Hashtbl.mem prog.Sema.p_funcs "list_addh")
 
+let test_strip_preserves_inferred () =
+  (* spans carrying the [inferred] provenance word were written by a
+     previous inference pass ( -infer-bulk patches); stripping must
+     leave them alone so re-inference over applied patches stays
+     idempotent, while hand spans on the same line still blank *)
+  let src =
+    "/*@only inferred@*/ int *f(/*@null@*/ int *p);\n\
+     /*@null inferred@*/ /*@only@*/ int *g(void);\n"
+  in
+  let stripped = Infer.strip_annotations src in
+  Alcotest.(check int) "length preserved" (String.length src)
+    (String.length stripped);
+  Alcotest.(check bool) "machine span on f kept" true
+    (contains ~affix:"/*@only inferred@*/" stripped);
+  Alcotest.(check bool) "machine span on g kept" true
+    (contains ~affix:"/*@null inferred@*/" stripped);
+  Alcotest.(check bool) "hand span on f blanked" false
+    (contains ~affix:"/*@null@*/" stripped);
+  Alcotest.(check bool) "hand span on g blanked" false
+    (contains ~affix:"/*@only@*/" stripped);
+  (* stripping is a fixpoint on its own output *)
+  Alcotest.(check string) "re-strip is identity" stripped
+    (Infer.strip_annotations stripped)
+
+let test_strip_inferred_reinference_idempotent () =
+  (* source already annotated by a previous inference pass: stripping
+     keeps the machine spans, so a second run accepts nothing new *)
+  let src =
+    "typedef struct _e { int v; } e;\n\
+     /*@only inferred@*/ /*@notnull inferred@*/ e *mk(void)\n\
+     { e *p = (e *) malloc(sizeof(e)); if (p == NULL) { exit(1); } p->v = 0; \
+     return p; }\n\
+     void rel(/*@only inferred@*/ /*@null inferred@*/ e *p)\n\
+     { if (p != NULL) { free(p); } }\n"
+  in
+  let prog = program (Infer.strip_annotations src) in
+  let outcome = Infer.run prog in
+  Alcotest.(check (list string))
+    "nothing re-inferred" []
+    (List.map
+       (fun (fd : Infer.finding) ->
+         Printf.sprintf "%s %s %s" fd.Infer.fd_fun
+           (Infer.show_slot fd.Infer.fd_slot)
+           fd.Infer.fd_word)
+       outcome.Infer.out_findings);
+  (* the pre-existing machine annotations are still live and marked *)
+  let fs = Hashtbl.find prog.Sema.p_funcs "mk" in
+  Alcotest.(check bool) "provenance bit survives the round trip" true
+    (Annot.is_inferred fs.Sema.fs_ret_annots.Sema.an)
+
 (* ------------------------------------------------------------------ *)
 (* Rendering                                                           *)
 (* ------------------------------------------------------------------ *)
@@ -306,6 +356,10 @@ let () =
           Alcotest.test_case "spans blanked" `Quick test_strip_annotations;
           Alcotest.test_case "stripped source parses" `Quick
             test_strip_roundtrip_parses;
+          Alcotest.test_case "inferred spans preserved" `Quick
+            test_strip_preserves_inferred;
+          Alcotest.test_case "re-inference idempotent" `Quick
+            test_strip_inferred_reinference_idempotent;
         ] );
       ( "render",
         [ Alcotest.test_case "prototypes" `Quick test_render_prototypes ] );
