@@ -1303,6 +1303,207 @@ let loops_exp () =
   if !bad then exit 3
 
 (* ------------------------------------------------------------------ *)
+(* E17: interprocedural effect summaries (+xproc)                      *)
+(* ------------------------------------------------------------------ *)
+
+(* Cross-function sweep: every seeded bug hides its release/escape in a
+   locally unannotated helper; every 4th seed is a clean precision
+   trial.  The carrier mix cycles through all four xproc kinds. *)
+let xproc_trial seed =
+  let kinds =
+    [|
+      Progen.Bxproc_callee_free; Progen.Bxproc_callee_free_df;
+      Progen.Bxproc_cond_release; Progen.Bxproc_escape_store;
+    |]
+  in
+  let bugs =
+    if seed mod 4 = 0 then []
+    else
+      List.sort_uniq compare [ kinds.(seed mod 4); kinds.(seed / 4 mod 4) ]
+  in
+  {
+    Difftest.t_seed = seed;
+    t_modules = 2 + (seed mod 3);
+    t_fns = 2 + (seed mod 2);
+    t_bugs = bugs;
+    t_coverage = 1.0;
+    t_max_steps = 200_000;
+  }
+
+let xproc_exp () =
+  section "E17: interprocedural effect summaries -- default vs +xproc";
+  row "  Fixed-seed cross-function sweep (seeds %d..%d): every seeded\n"
+    !seed_flag (!seed_flag + 47);
+  row "  bug buries its release or escape in a locally unannotated\n";
+  row "  helper.  Under the default call-site transfer they classify as\n";
+  row "  excused xproc-* blind spots; under +xproc the bottom-up effect\n";
+  row "  summaries must witness them statically -- no remaining xproc-*\n";
+  row "  divergences, no new gaps, no precision loss on the clean\n";
+  row "  trials.  Written to BENCH_xproc.json.\n\n";
+  let trials = List.init 48 (fun i -> xproc_trial (!seed_flag + i)) in
+  let jobs = min 4 (Parcheck.default_jobs ()) in
+  let xproc_flags = { Annot.Flags.default with Annot.Flags.xproc = true } in
+  let xproc_findings outs =
+    List.concat_map
+      (fun (o : Difftest.outcome) ->
+        List.filter_map
+          (fun (f : Difftest.finding) ->
+            if
+              String.length f.Difftest.f_class >= 6
+              && String.sub f.Difftest.f_class 0 6 = "xproc-"
+            then Some (o.Difftest.o_trial.Difftest.t_seed, f)
+            else None)
+          o.Difftest.o_verdict.Difftest.v_findings)
+      outs
+  in
+  let static_reports outs =
+    List.fold_left
+      (fun acc (o : Difftest.outcome) ->
+        acc + o.Difftest.o_verdict.Difftest.v_static_reports)
+      0 outs
+  in
+  let read_summary_counters () =
+    Telemetry.Counter.
+      ( value Telemetry.c_summary_funcs,
+        value Telemetry.c_summary_rounds,
+        value Telemetry.c_summary_top,
+        value Telemetry.c_summary_consults,
+        value Telemetry.c_summary_clashes )
+  in
+  Telemetry.reset ();
+  Telemetry.set_enabled true;
+  let outs_d, dt_d = time (fun () -> Difftest.sweep ~jobs trials) in
+  let d_funcs, d_rounds, d_top, d_consults, d_clashes =
+    read_summary_counters ()
+  in
+  Telemetry.reset ();
+  let outs_x, dt_x =
+    time (fun () -> Difftest.sweep ~jobs ~flags:xproc_flags trials)
+  in
+  let x_funcs, x_rounds, x_top, x_consults, x_clashes =
+    read_summary_counters ()
+  in
+  Telemetry.set_enabled false;
+  Telemetry.reset ();
+  let spots_d = xproc_findings outs_d and spots_x = xproc_findings outs_x in
+  let eliminated = List.length spots_d - List.length spots_x in
+  let reports_d = static_reports outs_d
+  and reports_x = static_reports outs_x in
+  let gaps_d = Difftest.gaps outs_d and gaps_x = Difftest.gaps outs_x in
+  let classes =
+    List.sort_uniq compare
+      (List.map (fun (_, (f : Difftest.finding)) -> f.Difftest.f_class)
+         (spots_d @ spots_x))
+  in
+  row "  %-24s %10s %10s\n" "cross-function class" "default" "+xproc";
+  let class_rows =
+    List.map
+      (fun cls ->
+        let n outs =
+          List.length
+            (List.filter
+               (fun (_, (f : Difftest.finding)) -> f.Difftest.f_class = cls)
+               outs)
+        in
+        let d = n spots_d and x = n spots_x in
+        row "  %-24s %10d %10d\n" cls d x;
+        Telemetry.Json.(
+          Obj
+            [
+              ("class", String cls);
+              ("default_divergences", Int d);
+              ("xproc_divergences", Int x);
+            ]))
+      classes
+  in
+  row "\n  default: %d cross-function divergences excused, %d static\n"
+    (List.length spots_d) reports_d;
+  row "  reports, %.1fs; summary counters %d/%d/%d/%d/%d (funcs/rounds/\n"
+    dt_d d_funcs d_rounds d_top d_consults d_clashes;
+  row "  top/consults/clashes, all 0 by construction)\n";
+  row "  +xproc:  %d cross-function divergences remain, %d static\n"
+    (List.length spots_x) reports_x;
+  row "  reports, %.1fs; %d functions summarized in %d rounds, %d sent\n"
+    dt_x x_funcs x_rounds x_top;
+  row "  to top, %d call-site consults, %d interface clashes\n" x_consults
+    x_clashes;
+  row "  %d cross-function divergences eliminated by +xproc\n" eliminated;
+  let doc =
+    Telemetry.Json.(
+      Obj
+        [
+          ("experiment", String "xproc");
+          ("seed", Int !seed_flag);
+          ("trials", Int (List.length trials));
+          ("jobs", Int jobs);
+          ( "default",
+            Obj
+              [
+                ("seconds", Float dt_d);
+                ("static_reports", Int reports_d);
+                ("xproc_divergences", Int (List.length spots_d));
+                ("gaps", Int (List.length gaps_d));
+                ("summary_funcs", Int d_funcs);
+                ("summary_rounds", Int d_rounds);
+                ("summary_top", Int d_top);
+                ("summary_consults", Int d_consults);
+                ("summary_clashes", Int d_clashes);
+              ] );
+          ( "xproc",
+            Obj
+              [
+                ("seconds", Float dt_x);
+                ("static_reports", Int reports_x);
+                ("xproc_divergences", Int (List.length spots_x));
+                ("gaps", Int (List.length gaps_x));
+                ("summary_funcs", Int x_funcs);
+                ("summary_rounds", Int x_rounds);
+                ("summary_top", Int x_top);
+                ("summary_consults", Int x_consults);
+                ("summary_clashes", Int x_clashes);
+              ] );
+          ("eliminated", Int eliminated);
+          ("per_class", List class_rows);
+        ])
+  in
+  let oc = open_out "BENCH_xproc.json" in
+  output_string oc (Telemetry.Json.to_string doc);
+  output_string oc "\n";
+  close_out oc;
+  row "\n  wrote BENCH_xproc.json\n";
+  (* the CI gate: +xproc must eliminate at least 3 cross-function
+     divergences, leave none behind, and introduce no gap or precision
+     regression anywhere (the clean trials included) *)
+  let fail fmt = Printf.eprintf fmt in
+  let bad = ref false in
+  if eliminated < 3 then begin
+    fail "xproc: only %d cross-function divergences eliminated (want >= 3)\n"
+      eliminated;
+    bad := true
+  end;
+  if spots_x <> [] then begin
+    fail "xproc: %d cross-function divergences survive +xproc\n"
+      (List.length spots_x);
+    bad := true
+  end;
+  List.iter
+    (fun ((_ : int), (f : Difftest.finding)) ->
+      fail "xproc (+xproc): %s\n" (Fmt.str "%a" Difftest.pp_finding f);
+      bad := true)
+    spots_x;
+  List.iter
+    (fun (f : Difftest.finding) ->
+      fail "xproc (+xproc): %s\n" (Fmt.str "%a" Difftest.pp_finding f);
+      bad := true)
+    gaps_x;
+  List.iter
+    (fun (f : Difftest.finding) ->
+      fail "xproc (default): %s\n" (Fmt.str "%a" Difftest.pp_finding f);
+      bad := true)
+    gaps_d;
+  if !bad then exit 3
+
+(* ------------------------------------------------------------------ *)
 (* E13: incremental checking service                                   *)
 (* ------------------------------------------------------------------ *)
 
@@ -1670,6 +1871,7 @@ let svcomp_exp () =
       loop_exec = true;
       free_offset = true;
       free_static = true;
+      xproc = true;
     }
   in
   match Svcomp.load_dir svcomp_dir with
@@ -1769,6 +1971,7 @@ let experiments =
     ("scale", scale);
     ("difftest", difftest_exp);
     ("loops", loops_exp);
+    ("xproc", xproc_exp);
     ("incr", incr_exp);
     ("oom", oom_exp);
     ("svcomp", svcomp_exp);

@@ -1,0 +1,24 @@
+/* the release is buried in an unannotated helper: discard() frees its
+   parameter, and main reads through the pointer afterwards */
+#include <stdlib.h>
+
+static void discard(char *r)
+{
+  free(r);
+}
+
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  char c;
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  discard(p);
+  c = p[0];
+  if (c == 'x') {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,27 @@
+/* the helper stashes its parameter in a file-scope slot; the caller
+   frees the storage and then reads it back through the stash */
+#include <stdlib.h>
+
+static char *stash;
+
+static void remember(char *r)
+{
+  stash = r;
+}
+
+int main(void)
+{
+  char *p = (char *) malloc(1);
+  char c;
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  remember(p);
+  free(p);
+  c = stash[0];
+  if (c == 'x') {
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,22 @@
+/* the helper releases its parameter on one branch only; the caller
+   frees unconditionally, doubling the release when flush ran */
+#include <stdlib.h>
+
+static void maybe_drop(char *r, int full)
+{
+  if (full) {
+    free(r);
+  }
+}
+
+int main(void)
+{
+  char *p = (char *) malloc(4);
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  maybe_drop(p, 1);
+  free(p);
+  return 0;
+}

@@ -1,0 +1,19 @@
+/* the allocation is buried in an unannotated wrapper: make_buf()
+   returns fresh storage, and the caller drops the last reference */
+#include <stdlib.h>
+
+static char *make_buf(void)
+{
+  return (char *) malloc(8);
+}
+
+int main(void)
+{
+  char *p = make_buf();
+  if (p == NULL) {
+    return 1;
+  }
+  p[0] = 'x';
+  p = NULL;
+  return 0;
+}

@@ -21,7 +21,7 @@ let read_file path =
 
 let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
     timings json infer_report infer_bulk infer_out infer_budget ranker_spec
-    jobs server cache dump_flags dump_counters =
+    jobs server cache dump_flags dump_counters dump_summaries =
   (* introspection hooks for the doc-drift gate (test/doc_drift.sh):
      machine-readable lists of every checking flag and every registered
      telemetry counter, to cross-check against docs/diagnostics.md *)
@@ -31,6 +31,13 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
   end;
   if dump_counters then begin
     List.iter print_endline (Telemetry.registered_counters ());
+    exit 0
+  end;
+  (* --dump-summaries with no files prints the render-token vocabulary
+     (the drift gate cross-checks it against docs/summaries.md); with
+     files it falls through to load them and prints below *)
+  if dump_summaries && files = [] then begin
+    List.iter print_endline Summary.token_vocabulary;
     exit 0
   end;
   let flags =
@@ -115,6 +122,16 @@ let run files flag_args load_libs lcl_specs dump_lib no_stdlib quiet stats
   | Sys_error msg ->
       Printf.eprintf "olclint: %s\n" msg;
       exit 2);
+  (* --dump-summaries: print every derived effect summary (the same
+     table +xproc consults), sorted by function name, and stop *)
+  if dump_summaries then begin
+    let tbl = Summary.of_program prog in
+    Hashtbl.fold (fun _ sm acc -> sm :: acc) tbl []
+    |> List.sort (fun a b ->
+           String.compare a.Summary.sm_name b.Summary.sm_name)
+    |> List.iter (fun sm -> print_endline (Summary.render sm));
+    exit 0
+  end;
   (* Annotation inference runs between interface extraction and
      checking: accepted annotations are installed into the symbol table,
      so [check_program] below sees them exactly as if they were
@@ -382,6 +399,17 @@ let dump_counters_arg =
           "Print every registered telemetry counter name, one per line, and \
            exit.")
 
+let dump_summaries_arg =
+  Arg.(
+    value & flag
+    & info [ "dump-summaries" ]
+        ~doc:
+          "Print the derived interprocedural effect summary for every \
+           function in the given files (the table $(b,+xproc) consults), \
+           one per line sorted by name, and exit.  With no files, print \
+           the summary-render token vocabulary instead.  See \
+           docs/summaries.md.")
+
 let cmd =
   let doc =
     "static detection of dynamic memory errors (LCLint-style checker)"
@@ -393,7 +421,7 @@ let cmd =
       $ dump_lib_arg $ no_stdlib_arg $ quiet_arg $ stats_arg $ timings_arg
       $ json_arg $ infer_arg $ infer_bulk_arg $ infer_out_arg
       $ infer_budget_arg $ ranker_spec_arg $ jobs_arg $ server_arg $ cache_arg
-      $ dump_flags_arg $ dump_counters_arg)
+      $ dump_flags_arg $ dump_counters_arg $ dump_summaries_arg)
 
 (* LCLint heritage: tolerate single-dash spellings of the long flags
    ([-json], [-stats], [-timings], [-infer]) by rewriting them before
@@ -413,6 +441,7 @@ let argv =
     | "-cache" :: rest -> "--cache" :: rewrite rest
     | "-dump-flags" :: rest -> "--dump-flags" :: rewrite rest
     | "-dump-counters" :: rest -> "--dump-counters" :: rewrite rest
+    | "-dump-summaries" :: rest -> "--dump-summaries" :: rewrite rest
     | "-stats" :: rest -> "--stats" :: rewrite rest
     | "-timings" :: rest -> "--timings" :: rewrite rest
     | "-json" :: rest -> "--json" :: rewrite rest

@@ -72,6 +72,12 @@ type t = {
           instead of lowering to the flat checking IR first (the legacy
           engine, kept as an escape hatch and as the equivalence oracle
           for the IR interpreter; diagnostics are identical either way) *)
+  xproc : bool;
+      (** [+xproc]: consult bottom-up interprocedural effect summaries at
+          call sites whose slot has no explicit or inferred annotation,
+          so unannotated callees stop being silently trusted (off by
+          default, preserving the paper's per-procedure miss profile;
+          explicit annotations always win over summaries) *)
 }
 
 let default =
@@ -98,6 +104,7 @@ let default =
     loop_iter = 8;
     alloc_model = false;
     tree_walk = false;
+    xproc = false;
   }
 
 (** The paper's [-allimponly] run (Section 6): no implicit [only]
@@ -175,6 +182,7 @@ let apply (f : t) (s : string) : (t, flag_error) result =
   | "loopexec" -> Ok { f with loop_exec = set }
   | "allocmodel" -> Ok { f with alloc_model = set }
   | "treewalk" -> Ok { f with tree_walk = set }
+  | "xproc" -> Ok { f with xproc = set }
   | "loopiter" ->
       (* valueless spelling resets the bound to its default *)
       Ok { f with loop_iter = default.loop_iter }
@@ -223,6 +231,7 @@ let canonical (f : t) =
       Printf.sprintf "loopiter=%d" f.loop_iter;
       b "allocmodel" f.alloc_model;
       b "treewalk" f.tree_walk;
+      b "xproc" f.xproc;
     ]
 
 let flag_names =
@@ -231,7 +240,7 @@ let flag_names =
     "imptempparams"; "impoutparams"; "gc"; "indeparrays"; "null"; "def";
     "alloc"; "alias"; "usereleased"; "freeoffset"; "freestatic"; "annotwarn";
     "guards"; "aliastrack"; "inferconstraints"; "loopexec"; "loopiter";
-    "allocmodel"; "treewalk";
+    "allocmodel"; "treewalk"; "xproc";
   ]
 
 (* Levenshtein distance, one-row DP. *)

@@ -38,6 +38,10 @@ type t = {
   tree_walk : bool;
       (** [+treewalk]: use the legacy AST tree walk instead of the flat
           checking IR (identical diagnostics; equivalence oracle) *)
+  xproc : bool;
+      (** [+xproc]: consult interprocedural effect summaries at call
+          sites whose slot has no explicit or inferred annotation
+          (explicit annotations always win) *)
 }
 
 val default : t

@@ -67,7 +67,8 @@ let category_of_code = function
       "null"
   | "usedef" | "compdef" | "mustdefine" -> "definition"
   | "mustfree" | "onlytrans" | "usereleased" | "branchstate" | "globstate"
-  | "compdestroy" | "freeoffset" | "freestatic" | "kepttrans" | "refcount" ->
+  | "compdestroy" | "freeoffset" | "freestatic" | "kepttrans" | "refcount"
+  | "escapefree" | "summaryclash" ->
       "allocation"
   | "aliasunique" | "modobserver" -> "alias"
   | "modifies" | "noret" | "goto" | "call" | "suppress" -> "process"

@@ -116,6 +116,12 @@ type env = {
   conflict_memo : (string, unit) Hashtbl.t;
   realloc_sources : (int, realloc_source) Hashtbl.t;
       (** [+allocmodel]: live realloc results by [Rfresh] id *)
+  summaries : Summary.table option;
+      (** [+xproc]: interprocedural effect summaries, consulted at call
+          sites whose slot has no explicit or inferred annotation *)
+  mutable escaped_args : Sref.Set.t;
+      (** [+xproc]: references a summarized callee stored away (escape
+          effect); an explicit release afterwards is [escapefree] *)
 }
 
 let emit env ?(severity = Diag.Err) ?(notes = []) ~loc ~code fmt =
@@ -227,6 +233,33 @@ let annots_of_ref env (r : Sref.t) : Annot.set =
           | None -> Annot.empty)
       | None -> Annot.empty)
   | Sref.Deref _ | Sref.Index _ -> Annot.empty
+
+(* ---------------- [+xproc] summary consultation ------------------- *)
+
+(** Does this slot carry no explicit or inferred allocation annotation,
+    so an interprocedural summary may speak for it?  Explicit (and
+    inference-installed) annotations always win. *)
+let slot_unannotated (e : Sema.eannot) =
+  (e.Sema.alloc_implicit || e.Sema.an.Annot.an_alloc = None)
+  && not e.Sema.an.Annot.an_killref
+
+(** The callee's effect summary, when [+xproc] is on, the callee is
+    defined, and a table was supplied. *)
+let summary_of_callee env (fs : Sema.funsig) : Summary.t option =
+  if not env.flags.Flags.xproc then None
+  else
+    match env.summaries with
+    | Some tbl when fs.Sema.fs_defined ->
+        Hashtbl.find_opt tbl fs.Sema.fs_name
+    | _ -> None
+
+(** Is [r] (or an alias image of it) a reference some summarized callee
+    stored away? *)
+let ref_escaped env st (r : Sref.t) =
+  Sref.Set.mem r env.escaped_args
+  || not
+       (Sref.Set.is_empty
+          (Sref.Set.inter (Store.alias_images st r) env.escaped_args))
 
 (** Initial reference state implied by a declaration's annotations, for an
     entity assumed completely defined (function entry). *)
@@ -1704,15 +1737,26 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
     else None
   in
   (* per-argument interface checks and transfers *)
+  let callee_sum = summary_of_callee env fs in
   let st =
-    List.fold_left
-      (fun st (popt, ((v : value), aloc)) ->
-        match popt with
-        | None ->
-            (* varargs argument: must be completely defined *)
-            check_arg_complete env st v ~fname ~aloc
-        | Some (p : Sema.param) -> check_arg env st fs p v ~fname ~aloc)
-      st paired
+    fst
+      (List.fold_left
+         (fun (st, i) (popt, ((v : value), aloc)) ->
+           match popt with
+           | None ->
+               (* varargs argument: must be completely defined *)
+               (check_arg_complete env st v ~fname ~aloc, i + 1)
+           | Some (p : Sema.param) ->
+               let sum_effect =
+                 match callee_sum with
+                 | Some sm
+                   when slot_unannotated p.Sema.pr_annots
+                        && i < Array.length sm.Summary.sm_params ->
+                     Some sm.Summary.sm_params.(i)
+                 | _ -> None
+               in
+               (check_arg env st fs p v ~sum_effect ~fname ~aloc, i + 1))
+         (st, 0) paired)
   in
   (* unique parameters: may not share storage with any other parameter or
      accessible global (the strcpy anomaly, Section 6) *)
@@ -1734,6 +1778,22 @@ and call_known env st (fs : Sema.funsig) (args : Ast.expr list) ~loc :
       | _ -> None
     in
     find fs.Sema.fs_params argvals
+  in
+  (* [+xproc]: a summary-proven alias result behaves like [returned] *)
+  let returned_arg =
+    match returned_arg with
+    | Some _ -> returned_arg
+    | None -> (
+        match callee_sum with
+        | Some sm
+          when slot_unannotated fs.Sema.fs_ret_annots
+               && Ctype.is_pointer fs.Sema.fs_ret -> (
+            match sm.Summary.sm_ret with
+            | Summary.Ralias k ->
+                Telemetry.Counter.tick Telemetry.c_summary_consults;
+                Option.map fst (List.nth_opt argvals k)
+            | _ -> None)
+        | _ -> None)
   in
   let ret_an = fs.Sema.fs_ret_annots.Sema.an in
   let st = if ret_an.Annot.an_exits then Store.unreachable st else st in
@@ -1820,8 +1880,8 @@ and check_arg_complete env st (v : value) ~fname ~aloc : Store.t =
           st missing
     | None -> st
 
-and check_arg env st (fs : Sema.funsig) (p : Sema.param) (v : value) ~fname
-    ~aloc : Store.t =
+and check_arg env st (fs : Sema.funsig) (p : Sema.param) (v : value)
+    ~sum_effect ~fname ~aloc : Store.t =
   let an = p.Sema.pr_annots.Sema.an in
   (* --- null --- *)
   let st =
@@ -1912,6 +1972,44 @@ and check_arg env st (fs : Sema.funsig) (p : Sema.param) (v : value) ~fname
         Store.set_def ~loc:aloc st r DSdefined
     | _ -> st
   in
+  (* --- [+xproc]: summary-driven transfer for an unannotated slot --- *)
+  let st =
+    match (sum_effect, v.v_ref) with
+    | Some pe, Some r
+      when (not v.v_addrof) && Ctype.is_pointer p.Sema.pr_ty ->
+        Telemetry.Counter.tick Telemetry.c_summary_consults;
+        let released =
+          match pe.Summary.pe_rel with
+          | Summary.Prel | Summary.Prelnull | Summary.Pcond -> true
+          | Summary.Pnone | Summary.Ptop -> false
+        in
+        if released then
+          (* the callee may release the argument on some path: the
+             caller's reference must be treated as dead afterwards (a
+             later use is [usereleased], a later free a double free) *)
+          if equal_nullstate v.v_null NSnull then st
+          else Store.set_def ~loc:aloc st r DSdead
+        else begin
+          let st =
+            if pe.Summary.pe_escape then begin
+              (* the callee stored the reference: the storage is now
+                 shared with wherever it was stashed — the caller no
+                 longer holds the sole reference, so releasing it later
+                 leaves the stored copy dangling *)
+              env.escaped_args <-
+                Sref.Set.add r
+                  (Sref.Set.union (Store.alias_images st r) env.escaped_args);
+              Store.set_alloc ~loc:aloc st r ASshared
+            end
+            else st
+          in
+          if pe.Summary.pe_out then
+            (* every normal path writes through the pointer *)
+            Store.set_def ~loc:aloc st r DSdefined
+          else st
+        end
+    | _ -> st
+  in
   st
 
 (** Transfer of a release obligation into an [only]/[keep]/[owned]
@@ -1957,6 +2055,25 @@ and check_obligation_transfer env st (fs : Sema.funsig) (p : Sema.param)
             "Static storage passed as only param %s of %s" p.Sema.pr_name
             fname;
         st
+      end
+      else if
+        env.flags.Flags.xproc
+        && (match v.v_ref with
+           | Some r -> ref_escaped env st r
+           | None -> false)
+      then begin
+        (* [+xproc]: a summarized callee stored this reference away; the
+           release leaves that stored copy dangling *)
+        let desc =
+          match v.v_ref with Some r -> Sref.to_string r | None -> "<expression>"
+        in
+        emit env ~loc:aloc ~code:"escapefree"
+          "Storage %s passed as only param %s of %s but a reference escaped \
+           through an earlier call (the stored reference would dangle)"
+          desc p.Sema.pr_name fname;
+        match v.v_ref with
+        | Some r -> Store.set_alloc ~loc:aloc st r ASerror
+        | None -> st
       end
       else if not (can_transfer_obligation v.v_alloc) && not gc_leaks_ok then begin
         let implicitly =
@@ -3228,8 +3345,8 @@ let funsig_inferred (fs : Sema.funsig) : bool =
     collector (annotation inference probes candidate annotations into a
     scratch collector); [exit_obs] observes the raw abstract state at
     every reachable exit (summary extraction). *)
-let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
-    (f : Ast.fundef) : unit =
+let check_fundef ?diags ?exit_obs ?summaries (prog : Sema.program)
+    (fs : Sema.funsig) (f : Ast.fundef) : unit =
   Telemetry.Counter.tick Telemetry.c_procedures;
   Telemetry.with_span ~file:fs.Sema.fs_loc.Loc.file ~label:fs.Sema.fs_name
     Telemetry.phase_check
@@ -3258,8 +3375,47 @@ let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
       statics = 0;
       conflict_memo = Hashtbl.create 16;
       realloc_sources = Hashtbl.create 4;
+      summaries;
+      escaped_args = Sref.Set.empty;
     }
   in
+  (* [+xproc]: compare the function's own declared interface against its
+     derived effect summary; a declaration the body contradicts is a
+     [summaryclash] *)
+  (match summaries with
+  | Some tbl when env.flags.Flags.xproc -> (
+      match Hashtbl.find_opt tbl fs.Sema.fs_name with
+      | Some sm ->
+          List.iteri
+            (fun i (p : Sema.param) ->
+              let ea = p.Sema.pr_annots in
+              let explicit_temp =
+                (not ea.Sema.alloc_implicit)
+                && ea.Sema.an.Annot.an_alloc = Some Annot.Temp
+              in
+              if explicit_temp && i < Array.length sm.Summary.sm_params then
+                match sm.Summary.sm_params.(i).Summary.pe_rel with
+                | Summary.Prel | Summary.Prelnull | Summary.Pcond ->
+                    Telemetry.Counter.tick Telemetry.c_summary_clashes;
+                    emit env ~severity:Diag.Warn ~loc:p.Sema.pr_loc
+                      ~code:"summaryclash"
+                      "Parameter %s of %s is declared temp but the body may \
+                       release it"
+                      p.Sema.pr_name fs.Sema.fs_name
+                | Summary.Pnone | Summary.Ptop -> ())
+            fs.Sema.fs_params;
+          if
+            fs.Sema.fs_ret_annots.Sema.an.Annot.an_null = Some Annot.NotNull
+            && Ctype.is_pointer fs.Sema.fs_ret && sm.Summary.sm_ret_null
+          then begin
+            Telemetry.Counter.tick Telemetry.c_summary_clashes;
+            emit env ~severity:Diag.Warn ~loc:fs.Sema.fs_loc
+              ~code:"summaryclash"
+              "Function %s is declared notnull but may return null"
+              fs.Sema.fs_name
+          end
+      | None -> ())
+  | _ -> ());
   push_scope env;
   (* parameters: local variable aliasing the externally visible arg *)
   let st =
@@ -3305,4 +3461,9 @@ let check_fundef ?diags ?exit_obs (prog : Sema.program) (fs : Sema.funsig)
 (** Check every function defined in the program.  Diagnostics accumulate in
     [prog.diags]. *)
 let check_program (prog : Sema.program) : unit =
-  List.iter (fun (fs, f) -> check_fundef prog fs f) (Sema.fundefs prog)
+  let summaries =
+    if prog.Sema.flags.Flags.xproc then Some (Summary.of_program prog)
+    else None
+  in
+  List.iter (fun (fs, f) -> check_fundef ?summaries prog fs f)
+    (Sema.fundefs prog)

@@ -26,11 +26,17 @@ type exit_info = {
 val check_fundef :
   ?diags:Cfront.Diag.Collector.t ->
   ?exit_obs:(exit_info -> unit) ->
+  ?summaries:Summary.table ->
   Sema.program -> Sema.funsig -> Cfront.Ast.fundef -> unit
 (** Check one function definition against its interface.  [diags]
     redirects messages to a scratch collector (inference probes);
     [exit_obs] is called at every reachable exit with the raw state
-    (summary extraction). *)
+    (summary extraction); [summaries] supplies interprocedural effect
+    summaries, consulted at unannotated call-site slots when the
+    program's flags enable [+xproc] (pass the {!Summary.of_program}
+    table; without it [+xproc] has no effect on this procedure). *)
 
 val check_program : Sema.program -> unit
-(** Check every function defined in the program, in source order. *)
+(** Check every function defined in the program, in source order.
+    Computes the {!Summary} table first when the program's flags enable
+    [+xproc]. *)

@@ -31,6 +31,11 @@ let of_code = function
       [ "null-deref" ]
   | "usedef" | "compdef" -> [ "use-undef" ]
   | "usereleased" -> [ "use-after-free"; "double-free" ]
+  | "escapefree" ->
+      (* releasing storage a summarized callee stored away: the stashed
+         reference dangles (a later use trips it) and a second release
+         through it is a double free *)
+      [ "use-after-free"; "double-free" ]
   | "freeoffset" -> [ "free-offset" ]
   | "freestatic" -> [ "free-static" ]
   | "mustfree" | "onlytrans" | "branchstate" | "globstate" | "compdestroy"
@@ -45,9 +50,9 @@ let codes_for cls =
     (fun code -> List.mem cls (of_code code))
     [
       "nullderef"; "nullpass"; "nullret"; "nullderive"; "globnull";
-      "usedef"; "compdef"; "usereleased"; "freeoffset"; "freestatic";
-      "mustfree"; "onlytrans"; "branchstate"; "globstate"; "compdestroy";
-      "refcount"; "realloclost";
+      "usedef"; "compdef"; "usereleased"; "escapefree"; "freeoffset";
+      "freestatic"; "mustfree"; "onlytrans"; "branchstate"; "globstate";
+      "compdestroy"; "refcount"; "realloclost";
     ]
 
 (** Does any kept diagnostic in [reports] witness run-time class [cls]

@@ -154,6 +154,24 @@ let blind_spots (flags : Annot.Flags.t) =
     :: spots
   in
   let spots =
+    (* a release or escape buried in a locally unannotated callee: the
+       default call-site transfer sees no annotation to act on; the
+       [+xproc] effect summaries recover both classes *)
+    if flags.Annot.Flags.xproc then spots
+    else
+      {
+        bs_class = "xproc-use-after-free";
+        bs_recover = Some "+xproc";
+        bs_cite = "test_check.ml: blind-spots/xproc-use-after-free";
+      }
+      :: {
+           bs_class = "xproc-double-free";
+           bs_recover = Some "+xproc";
+           bs_cite = "test_check.ml: blind-spots/xproc-double-free";
+         }
+      :: spots
+  in
+  let spots =
     if flags.Annot.Flags.free_offset then spots
     else
       {
@@ -216,6 +234,12 @@ let class_of_bug = function
   | Progen.Boom_leak -> "leak"
   | Progen.Brefcount_leak -> "leak"
   | Progen.Brefcount_use -> "use-after-free"
+  (* cross-function bugs also surface as plain heap events; the "xproc-"
+     prefix only appears on excused findings *)
+  | Progen.Bxproc_callee_free -> "use-after-free"
+  | Progen.Bxproc_callee_free_df -> "double-free"
+  | Progen.Bxproc_cond_release -> "double-free"
+  | Progen.Bxproc_escape_store -> "use-after-free"
 
 let dedupe findings =
   let seen = Hashtbl.create 16 in
@@ -392,6 +416,24 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000) ?oom_fail
                   && Progen.sb_file sb = file)
                 seeded
             in
+            (* Cross-function blind spots carry the same metadata gate:
+               the excuse applies only where a seeded xproc-kind bug of
+               the matching class sits in the same file and the effect
+               summaries are off. *)
+            let xproc_spot file cls =
+              (not flags.Annot.Flags.xproc)
+              && List.exists
+                   (fun (sb : Progen.seeded) ->
+                     (match sb.Progen.sb_kind with
+                     | Progen.Bxproc_callee_free | Progen.Bxproc_callee_free_df
+                     | Progen.Bxproc_cond_release | Progen.Bxproc_escape_store
+                       ->
+                         true
+                     | _ -> false)
+                     && class_of_bug sb.Progen.sb_kind = cls
+                     && Progen.sb_file sb = file)
+                   seeded
+            in
             List.iter
               (fun (e : Heap.error) ->
                 let cls = Heap.error_class e.Heap.e_kind in
@@ -432,6 +474,18 @@ let classify ?(flags = Annot.Flags.default) ?(max_steps = 200_000) ?oom_fail
                               Fmt.str
                                 "uncounted borrow outliving the counted \
                                  reference (no recovery flag): %s"
+                                e.Heap.e_msg;
+                          }
+                      else if xproc_spot file cls then
+                        push
+                          {
+                            f_kind = Blind_spot;
+                            f_class = "xproc-" ^ cls;
+                            f_file = file;
+                            f_detail =
+                              Fmt.str
+                                "release/escape buried in an unannotated \
+                                 callee (recover with +xproc): %s"
                                 e.Heap.e_msg;
                           }
                       else

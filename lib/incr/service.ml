@@ -54,6 +54,11 @@ type fn_entry = {
   mutable fn_fd : Ast.fundef;  (** the AST object the summary is for *)
   fn_sig_hash : string;
   fn_callees : (string * string) list;  (** direct callee → funsig hash *)
+  fn_callee_sums : (string * string) list;
+      (** direct callee → effect-summary hash; populated only under
+          [+xproc], where a callee {e body} edit that changes the
+          callee's derived effects must re-check this caller even though
+          the callee's declared signature is unchanged *)
   fn_flags_canon : string;
   fn_typeenv_hash : string;
   fn_diags : Diag.t list;  (** raw checker output, unsorted, unsuppressed *)
@@ -81,6 +86,9 @@ type t = {
   files : (string, file_entry) Hashtbl.t;
   fns : (string * string, fn_entry) Hashtbl.t;
   mutable sig_hashes : (string, string) Hashtbl.t;
+  mutable summary_hashes : (string, string) Hashtbl.t;
+      (** function → effect-summary hash; refreshed at the top of every
+          revalidation when [+xproc] is on, empty otherwise *)
   mutable typeenv_hash : string;
   mutable gen : int;
   persisted : (string, string * string * Diag.t list) Hashtbl.t;
@@ -106,6 +114,7 @@ let create ?(flags = Flags.default) ?(no_stdlib = false) ?(load_libs = [])
     files = Hashtbl.create 64;
     fns = Hashtbl.create 256;
     sig_hashes = Hashtbl.create 256;
+    summary_hashes = Hashtbl.create 256;
     typeenv_hash = "";
     gen = 0;
     persisted = Hashtbl.create 64;
@@ -184,6 +193,9 @@ let typeenv_fingerprint (env : Sema.program) =
 let callee_hash t name =
   match Hashtbl.find_opt t.sig_hashes name with Some h -> h | None -> "?"
 
+let callee_summary_hash t name =
+  match Hashtbl.find_opt t.summary_hashes name with Some h -> h | None -> "?"
+
 let cache_kind = "summary-cache"
 let cache_version = 1
 
@@ -211,6 +223,19 @@ let full_key t (fs : Sema.funsig) (fd : Ast.fundef) =
       Buffer.add_char b ';')
     (Sema.calls_of_fundef fd);
   Buffer.add_char b '\n';
+  (* [+xproc] only: the checker additionally reads the callees' derived
+     effect summaries, so they join the content key.  Gated on the flag
+     to leave every non-xproc key byte-identical to before. *)
+  if t.flags.Flags.xproc then begin
+    List.iter
+      (fun c ->
+        Buffer.add_string b c;
+        Buffer.add_char b '!';
+        Buffer.add_string b (callee_summary_hash t c);
+        Buffer.add_char b ';')
+      (Sema.calls_of_fundef fd);
+    Buffer.add_char b '\n'
+  end;
   Buffer.add_string b (hex (Ast.show_fundef fd));
   hex (Buffer.contents b)
 
@@ -321,6 +346,9 @@ let entry_valid t (e : fn_entry) (fs : Sema.funsig) (fd : Ast.fundef) =
   && List.for_all
        (fun (c, h) -> String.equal h (callee_hash t c))
        e.fn_callees
+  && List.for_all
+       (fun (c, h) -> String.equal h (callee_summary_hash t c))
+       e.fn_callee_sums
 
 let make_entry t (fs : Sema.funsig) (fd : Ast.fundef) diags =
   {
@@ -331,6 +359,12 @@ let make_entry t (fs : Sema.funsig) (fd : Ast.fundef) diags =
       | None -> funsig_hash fs);
     fn_callees =
       List.map (fun c -> (c, callee_hash t c)) (Sema.calls_of_fundef fd);
+    fn_callee_sums =
+      (if t.flags.Flags.xproc then
+         List.map
+           (fun c -> (c, callee_summary_hash t c))
+           (Sema.calls_of_fundef fd)
+       else []);
     fn_flags_canon = t.flags_canon;
     fn_typeenv_hash = t.typeenv_hash;
     fn_diags = diags;
@@ -342,14 +376,44 @@ let make_entry t (fs : Sema.funsig) (fd : Ast.fundef) diags =
    pool, grouped by file exactly like the cold driver.  Returns
    (hits, misses, rechecked). *)
 let revalidate_and_check t ~jobs (env : Sema.program) =
+  (* [+xproc]: refresh the effect-summary table first — validation below
+     compares cached callee-summary hashes against it, so a callee body
+     edit that changes the callee's derived effects (with an unchanged
+     declared signature) invalidates its cached callers *)
+  let summaries =
+    if t.flags.Flags.xproc then begin
+      let tbl = Summary.of_program env in
+      let hashes = Hashtbl.create (Hashtbl.length tbl * 2) in
+      Hashtbl.iter
+        (fun name sm -> Hashtbl.replace hashes name (Summary.hash sm))
+        tbl;
+      t.summary_hashes <- hashes;
+      Some tbl
+    end
+    else begin
+      if Hashtbl.length t.summary_hashes > 0 then
+        t.summary_hashes <- Hashtbl.create 256;
+      None
+    end
+  in
   let pairs = Sema.fundefs env in
   let hits = ref 0 and misses = ref 0 in
   let miss_list =
     List.filter_map
       (fun ((fs : Sema.funsig), fd) ->
         let id = fn_id fs in
+        (* current-generation entries skip full validation, but never the
+           summary comparison: a Patched-tier body edit leaves the
+           generation alone yet can change a callee's derived effects,
+           which must dirty its cached callers under [+xproc] (the list
+           is empty otherwise, so the check is vacuous) *)
+        let sums_current (e : fn_entry) =
+          List.for_all
+            (fun (c, h) -> String.equal h (callee_summary_hash t c))
+            e.fn_callee_sums
+        in
         match Hashtbl.find_opt t.fns id with
-        | Some e when e.fn_gen = t.gen ->
+        | Some e when e.fn_gen = t.gen && sums_current e ->
             incr hits;
             None
         | Some e when entry_valid t e fs fd ->
@@ -405,7 +469,7 @@ let revalidate_and_check t ~jobs (env : Sema.program) =
         List.map
           (fun (_, fs, fd) ->
             let coll = Diag.Collector.create () in
-            Check.Checker.check_fundef ~diags:coll local fs fd;
+            Check.Checker.check_fundef ~diags:coll ?summaries local fs fd;
             Diag.Collector.all coll)
           garr.(i))
   in

@@ -1,88 +1,4 @@
-(** The direct call graph over a {!Sema.program}.
-
-    Nodes are the functions *defined* in the program (we can only infer
-    annotations from bodies we can see); an edge [f -> g] records a direct
-    call [g(...)] somewhere in [f]'s body.  Calls through function
-    pointers are invisible, exactly as they are to the checker itself.
-
-    {!sccs} returns Tarjan's strongly connected components in bottom-up
-    (callee-first) order: by the time inference reaches a component, every
-    component it calls into has already been summarized.  Mutual recursion
-    lands both functions in one component, which the fixpoint engine then
-    iterates over. *)
-
-type t = {
-  cg_nodes : string list;  (** defined functions, source order *)
-  cg_edges : (string, string list) Hashtbl.t;
-      (** per node: callees that are themselves defined, call order *)
-}
-
-let build (prog : Sema.program) : t =
-  let defined = Hashtbl.create 16 in
-  List.iter
-    (fun ((fs : Sema.funsig), _) -> Hashtbl.replace defined fs.Sema.fs_name ())
-    (Sema.fundefs prog);
-  let edges = Hashtbl.create 16 in
-  let nodes =
-    List.map
-      (fun ((fs : Sema.funsig), f) ->
-        let callees =
-          List.filter (Hashtbl.mem defined) (Sema.calls_of_fundef f)
-        in
-        Hashtbl.replace edges fs.Sema.fs_name callees;
-        fs.Sema.fs_name)
-      (Sema.fundefs prog)
-  in
-  { cg_nodes = nodes; cg_edges = edges }
-
-let calls (g : t) (name : string) : string list =
-  Option.value (Hashtbl.find_opt g.cg_edges name) ~default:[]
-
-(* Tarjan's algorithm.  Components are emitted when their root closes,
-   which happens only after every component reachable from them — i.e.
-   callees come out first, giving the bottom-up order directly. *)
-let sccs (g : t) : string list list =
-  let index = Hashtbl.create 16 in
-  let lowlink = Hashtbl.create 16 in
-  let on_stack = Hashtbl.create 16 in
-  let stack = ref [] in
-  let next = ref 0 in
-  let out = ref [] in
-  let rec strongconnect v =
-    Hashtbl.replace index v !next;
-    Hashtbl.replace lowlink v !next;
-    incr next;
-    stack := v :: !stack;
-    Hashtbl.replace on_stack v ();
-    List.iter
-      (fun w ->
-        if not (Hashtbl.mem index w) then begin
-          strongconnect w;
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find lowlink w))
-        end
-        else if Hashtbl.mem on_stack w then
-          Hashtbl.replace lowlink v
-            (min (Hashtbl.find lowlink v) (Hashtbl.find index w)))
-      (calls g v);
-    if Hashtbl.find lowlink v = Hashtbl.find index v then begin
-      (* pop the component *)
-      let rec pop acc =
-        match !stack with
-        | w :: rest ->
-            stack := rest;
-            Hashtbl.remove on_stack w;
-            if String.equal w v then w :: acc else pop (w :: acc)
-        | [] -> acc
-      in
-      out := pop [] :: !out
-    end
-  in
-  List.iter (fun v -> if not (Hashtbl.mem index v) then strongconnect v) g.cg_nodes;
-  List.rev !out
-
-let is_recursive (g : t) (component : string list) : bool =
-  match component with
-  | [ v ] -> List.mem v (calls g v)
-  | [] -> false
-  | _ -> true
+(* The call graph now lives in lib/summary (the effect-summary pass walks
+   it bottom-up too); re-exported here so inference keeps its historical
+   [Infer.Callgraph] address. *)
+include Summary.Callgraph

@@ -627,10 +627,13 @@ let of_spec ~name:spec_name (text : string) : (t, string) result =
           |> List.filter (fun s -> s <> "")
         with
         | [] -> ()
-        | fn :: slot :: word :: rest -> (
+        | (fn :: slot :: word :: rest) as toks -> (
             let fail msg =
               err :=
-                Some (Printf.sprintf "%s:%d: %s" spec_name (lineno + 1) msg)
+                Some
+                  (Printf.sprintf "%s:%d: %s in '%s'" spec_name (lineno + 1)
+                     msg
+                     (String.concat " " toks))
             in
             match (parse_slot slot, rest) with
             | None, _ -> fail ("bad slot '" ^ slot ^ "' (ret or paramN)")
@@ -646,11 +649,13 @@ let of_spec ~name:spec_name (text : string) : (t, string) result =
                       { rc_slot = s; rc_word = word; rc_prior = prior }
                 | _ -> fail ("bad prior '" ^ p ^ "' (0..1)"))
             | Some _, _ -> fail "trailing tokens")
-        | _ ->
+        | toks ->
             err :=
               Some
-                (Printf.sprintf "%s:%d: expected 'function slot word [prior]'"
-                   spec_name (lineno + 1)))
+                (Printf.sprintf
+                   "%s:%d: expected 'function slot word [prior]', got '%s'"
+                   spec_name (lineno + 1)
+                   (String.concat " " toks)))
     (String.split_on_char '\n' text);
   match !err with
   | Some msg -> Error msg

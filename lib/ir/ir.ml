@@ -230,6 +230,8 @@ and lower_arm bd (s : Ast.stmt) : block =
 let instr_count (p : proc) : int =
   Array.fold_left (fun n b -> n + Array.length b) 0 p.p_blocks
 
+let block_instrs (p : proc) (b : block) : instr array = p.p_blocks.(b)
+
 let lower_fundef (f : Ast.fundef) : proc =
   let bd = { bd_blocks = Array.make 8 []; bd_n = 0; bd_mut = false } in
   let entry = new_block bd in

@@ -67,6 +67,10 @@ val mutates_env : Cfront.Ast.fundef -> bool
 val instr_count : proc -> int
 (** Total instructions across all blocks. *)
 
+val block_instrs : proc -> block -> instr array
+(** The instruction array of one block (effect-extraction walks — the
+    interprocedural summary pass — iterate the IR through this). *)
+
 val pp_proc : Format.formatter -> proc -> unit
 (** Stable, compact rendering of a lowered procedure (golden tests). *)
 

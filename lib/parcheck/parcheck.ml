@@ -25,6 +25,7 @@
     checker's lowered-IR cache, the [Sref] intern tables) alive. *)
 
 module Diag = Cfront.Diag
+module Flags = Annot.Flags
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -276,17 +277,29 @@ let task_count (prog : Sema.program) : int = Array.length (check_tasks prog)
 
 let check_program ?(jobs = 1) (prog : Sema.program) : Diag.t list =
   let tasks = check_tasks prog in
+  (* [+xproc]: derive the effect-summary table bottom-up over the call
+     graph BEFORE fanning out — the SCC fixpoint is inherently
+     sequential (callees before callers), and precomputing it leaves the
+     per-procedure tasks reading the finished table strictly read-only,
+     so the work-stealing schedule stays free to run procedures in any
+     order while every [-j] value consults identical summaries. *)
+  let summaries =
+    if prog.Sema.flags.Flags.xproc then Some (Summary.of_program prog)
+    else None
+  in
   let run_task ~par:_ i =
     let coll = Diag.Collector.create () in
     (match tasks.(i) with
-    | Proc (fs, f) -> Check.Checker.check_fundef ~diags:coll prog fs f
+    | Proc (fs, f) ->
+        Check.Checker.check_fundef ~diags:coll ?summaries prog fs f
     | File fds ->
         (* the copy guards the shared tables against this task's own
            mutations (concurrent or not: [-j 1] takes the same path so
            diagnostics cannot depend on the job count) *)
         let local = Sema.copy_for_check prog in
         List.iter
-          (fun (fs, f) -> Check.Checker.check_fundef ~diags:coll local fs f)
+          (fun (fs, f) ->
+            Check.Checker.check_fundef ~diags:coll ?summaries local fs f)
           fds);
     Diag.Collector.all coll
   in

@@ -59,13 +59,30 @@ type bug_kind =
       (** a borrowed (uncounted) reference stashed through a helper
           outlives the last counted reference: use after free at run
           time, invisible to the intraprocedural checker *)
+  | Bxproc_callee_free
+      (** an unannotated helper frees its parameter; the caller reads it
+          afterwards — use after free at run time, invisible without the
+          [+xproc] effect summaries *)
+  | Bxproc_callee_free_df
+      (** an unannotated helper frees its parameter; the caller frees it
+          again — double free at run time, caught under [+xproc] *)
+  | Bxproc_cond_release
+      (** an unannotated helper frees its parameter on one branch only;
+          the caller frees unconditionally — double free when the branch
+          is taken, caught under [+xproc] (conditional-release effect) *)
+  | Bxproc_escape_store
+      (** an unannotated helper stashes its parameter in a global; the
+          caller frees the storage and reads it back through the global
+          — use after free at run time, caught under [+xproc] (escape
+          effect → [escapefree]) *)
 
 let all_bug_kinds =
   [
     Bleak; Buse_after_free; Bdouble_free; Bnull_deref; Buse_undef;
     Bfree_offset; Bfree_static; Bglobal_leak; Bloop_leak;
     Bloop_use_after_free; Bloop_null_deref; Brealloc_lost; Boom_leak;
-    Brefcount_leak; Brefcount_use;
+    Brefcount_leak; Brefcount_use; Bxproc_callee_free;
+    Bxproc_callee_free_df; Bxproc_cond_release; Bxproc_escape_store;
   ]
 
 let bug_kind_string = function
@@ -84,6 +101,10 @@ let bug_kind_string = function
   | Boom_leak -> "oom-leak"
   | Brefcount_leak -> "refcount-leak"
   | Brefcount_use -> "refcount-use"
+  | Bxproc_callee_free -> "xproc-callee-free"
+  | Bxproc_callee_free_df -> "xproc-callee-free-df"
+  | Bxproc_cond_release -> "xproc-cond-release"
+  | Bxproc_escape_store -> "xproc-escape-store"
 
 (** Does this bug class need a loop back edge to manifest?  These are
     invisible to the paper's zero-or-one-times loop heuristic and only
@@ -92,7 +113,8 @@ let loop_carried = function
   | Bloop_leak | Bloop_use_after_free | Bloop_null_deref -> true
   | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
   | Bfree_offset | Bfree_static | Bglobal_leak | Brealloc_lost | Boom_leak
-  | Brefcount_leak | Brefcount_use ->
+  | Brefcount_leak | Brefcount_use | Bxproc_callee_free
+  | Bxproc_callee_free_df | Bxproc_cond_release | Bxproc_escape_store ->
       false
 
 (** Does this bug class only manifest dynamically when an allocation is
@@ -103,7 +125,8 @@ let oom_carried = function
   | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
   | Bfree_offset | Bfree_static | Bglobal_leak | Bloop_leak
   | Bloop_use_after_free | Bloop_null_deref | Brefcount_leak | Brefcount_use
-    ->
+  | Bxproc_callee_free | Bxproc_callee_free_df | Bxproc_cond_release
+  | Bxproc_escape_store ->
       false
 
 (** One seeded bug: which function carries it, and whether the generated
@@ -167,6 +190,11 @@ let expected_static ~(flags : Annot.Flags.t) = function
       (* the stale borrow travels through a helper's global: invisible
          to the intraprocedural analysis under any flags *)
       false
+  | Bxproc_callee_free | Bxproc_callee_free_df | Bxproc_cond_release
+  | Bxproc_escape_store ->
+      (* the release/escape happens inside a locally unannotated helper:
+         needs the interprocedural effect summaries *)
+      flags.Annot.Flags.xproc
   | Bleak | Buse_after_free | Bdouble_free | Bnull_deref | Buse_undef
   | Boom_leak | Brefcount_leak ->
       true
@@ -186,7 +214,9 @@ let expected_dynamic ~(executed : bool) = function
   | Brefcount_leak -> `Nothing
   | Bleak | Bglobal_leak | Bloop_leak -> `Leak
   | Buse_after_free | Bdouble_free | Buse_undef | Bfree_offset | Bfree_static
-  | Bloop_use_after_free | Bloop_null_deref | Brefcount_use ->
+  | Bloop_use_after_free | Bloop_null_deref | Brefcount_use
+  | Bxproc_callee_free | Bxproc_callee_free_df | Bxproc_cond_release
+  | Bxproc_escape_store ->
       `Error
 
 (* ------------------------------------------------------------------ *)
@@ -458,7 +488,48 @@ let gen_module ~rich ~annotated ~(rng : rng) ~(index : int)
           pf "  %s_stash(r);\n" m;
           pf "  %s_destroy(r);\n" m;
           pf "  if (%s_borrowed != NULL) {\n" m;
-          pf "    %s_borrowed->weight = 2;\n  }\n}\n\n" m));
+          pf "    %s_borrowed->weight = 2;\n  }\n}\n\n" m
+      (* The xproc helpers below are deliberately left unannotated even
+         in annotated mode: the release/escape lives only in the helper
+         body, where the default checker cannot see it from a call site. *)
+      | Bxproc_callee_free ->
+          pf "void %s_xrel(%s_rec *r)\n{\n  free(r);\n}\n\n" m m;
+          pf "int %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  r->weight = 5;\n";
+          pf "  %s_xrel(r);\n" m;
+          pf "  return r->weight;\n}\n\n" (* read after the callee freed *)
+      | Bxproc_callee_free_df ->
+          pf "void %s_xdrop(%s_rec *r)\n{\n  free(r);\n}\n\n" m m;
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  r->weight = 1;\n";
+          pf "  %s_xdrop(r);\n" m;
+          pf "  free(r);\n}\n\n" (* second free of the same block *)
+      | Bxproc_cond_release ->
+          pf "int %s_xmaybe(%s_rec *r, int c)\n{\n" m m;
+          pf "  if (c > 0) {\n    free(r);\n    return 1;\n  }\n";
+          pf "  return 0;\n}\n\n";
+          pf "void %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  r->weight = 3;\n";
+          pf "  %s_xmaybe(r, 1);\n" m (* the releasing branch is taken *);
+          pf "  free(r);\n}\n\n"
+      | Bxproc_escape_store ->
+          pf "static %s_rec *%s_xslot;\n\n" m m;
+          pf "void %s_xkeep(%s_rec *r)\n{\n  %s_xslot = r;\n}\n\n" m m m;
+          pf "int %s(void)\n{\n" fn;
+          pf "  %s_rec *r = (%s_rec *) malloc(sizeof(%s_rec));\n" m m m;
+          pf "  if (r == NULL) {\n    exit(EXIT_FAILURE);\n  }\n";
+          pf "  r->weight = 8;\n";
+          pf "  %s_xkeep(r);\n" m;
+          pf "  free(r);\n";
+          pf "  if (%s_xslot != NULL) {\n" m;
+          pf "    return %s_xslot->weight;\n  }\n" m (* dangling read *);
+          pf "  return 0;\n}\n\n"));
   (Buffer.contents b, !carriers)
 
 (* ------------------------------------------------------------------ *)

@@ -27,6 +27,18 @@ type bug_kind =
   | Brefcount_leak  (** [newref] return with no reference behind it *)
   | Brefcount_use
       (** a stashed uncounted borrow outlives the counted reference *)
+  | Bxproc_callee_free
+      (** an unannotated helper frees its parameter, the caller reads it
+          afterwards; caught statically only under [+xproc] *)
+  | Bxproc_callee_free_df
+      (** an unannotated helper frees its parameter, the caller frees it
+          again; caught under [+xproc] *)
+  | Bxproc_cond_release
+      (** an unannotated helper frees its parameter on one branch, the
+          caller frees unconditionally; caught under [+xproc] *)
+  | Bxproc_escape_store
+      (** an unannotated helper stashes its parameter in a global, the
+          caller frees then reads it back; caught under [+xproc] *)
 
 val all_bug_kinds : bug_kind list
 val bug_kind_string : bug_kind -> string
@@ -65,8 +77,9 @@ val of_files : ?seeded:seeded list -> (string * string) list -> program
 val expected_static : flags:Annot.Flags.t -> bug_kind -> bool
 (** Should the static checker flag this bug class under [flags]?
     [false] exactly for the declared blind spots: [Bfree_offset] /
-    [Bfree_static] / [Bloop_*] / [Brealloc_lost] without their recovery
-    flags, and [Bglobal_leak] / [Brefcount_use] always. *)
+    [Bfree_static] / [Bloop_*] / [Brealloc_lost] / [Bxproc_*] without
+    their recovery flags, and [Bglobal_leak] / [Brefcount_use]
+    always. *)
 
 val expected_dynamic : executed:bool -> bug_kind -> [ `Error | `Leak | `Nothing ]
 (** What the run-time baseline observes: a heap error, an end-of-run

@@ -226,6 +226,11 @@ let c_ir_instrs = Counter.make "ir_instrs"
 let c_ir_blocks = Counter.make "ir_blocks"
 let c_tasks_stolen = Counter.make "tasks_stolen"
 let c_pool_reuses = Counter.make "pool_reuses"
+let c_summary_funcs = Counter.make "summary_funcs"
+let c_summary_rounds = Counter.make "summary_rounds"
+let c_summary_top = Counter.make "summary_top"
+let c_summary_consults = Counter.make "summary_consults"
+let c_summary_clashes = Counter.make "summary_clashes"
 
 let registered_counters () =
   let names = Array.to_list (Counter.registry_snapshot ()) in

@@ -201,6 +201,24 @@ val c_pool_reuses : Counter.t
 (** Warm worker domains reused from the persistent checking pool
     instead of being spawned (one tick per reused worker per run). *)
 
+val c_summary_funcs : Counter.t
+(** Functions given an interprocedural effect summary ([+xproc]). *)
+
+val c_summary_rounds : Counter.t
+(** Fixpoint rounds over call-graph SCCs during summary propagation. *)
+
+val c_summary_top : Counter.t
+(** Summaries forced to ⊤ (recursive components that failed to converge
+    within the round bound, or bodies with opaque control flow). *)
+
+val c_summary_consults : Counter.t
+(** Call-site slots where the checker consulted a callee summary
+    because no explicit or inferred annotation was present. *)
+
+val c_summary_clashes : Counter.t
+(** [summaryclash] diagnostics: a computed summary contradicting an
+    explicit annotation. *)
+
 val diag_counter_prefix : string
 (** Diagnostic counts are recorded as [diag.<category>]. *)
 

@@ -554,6 +554,43 @@ sed -n '/^## Telemetry counters/,/^## /p' "$DOCS/diagnostics.md" \
 diff -u "$tmp/counters.actual" "$tmp/counters.doc" > "$tmp/counters.diff" \
   || { cat "$tmp/counters.diff" >&2; fail "docs/diagnostics.md counter table drifted from --dump-counters"; }
 
+# the --dump-summaries render vocabulary must match the docs/summaries.md
+# token table exactly (same gate shape as the flag/counter tables)
+"$OLCLINT" --dump-summaries | sort > "$tmp/tokens.actual"
+[ -s "$tmp/tokens.actual" ] || fail "--dump-summaries with no files should print the token vocabulary"
+sed -n '/^## Render tokens/,/^## /p' "$DOCS/summaries.md" \
+  | sed -n 's/^| `\([^`]*\)`.*/\1/p' | sort > "$tmp/tokens.doc"
+diff -u "$tmp/tokens.actual" "$tmp/tokens.doc" > "$tmp/tokens.diff" \
+  || { cat "$tmp/tokens.diff" >&2; fail "docs/summaries.md token table drifted from --dump-summaries"; }
+
+# --- interprocedural summaries: --dump-summaries and +xproc ------------------
+cat > "$tmp/xp.c" <<'EOF'
+void drop(char *r) { free(r); }
+int use(void) {
+  char *p = (char *) malloc(1);
+  if (p == NULL) { return 1; }
+  p[0] = 'x';
+  drop(p);
+  int v = p[0];
+  return v;
+}
+EOF
+
+"$OLCLINT" --dump-summaries "$tmp/xp.c" > "$tmp/sums" \
+  || fail "--dump-summaries with a file should exit 0"
+expect_contains "$tmp/sums" "drop: params=[rel] ret=-" "derived release effect listed"
+sort -c "$tmp/sums" || fail "--dump-summaries output should be sorted by name"
+
+# the single-dash heritage spelling works too
+"$OLCLINT" -dump-summaries "$tmp/xp.c" > "$tmp/sums2" || fail "-dump-summaries single-dash"
+cmp -s "$tmp/sums" "$tmp/sums2" || fail "-dump-summaries should match --dump-summaries"
+
+# default mode is blind to the buried release; +xproc reports the use
+"$OLCLINT" "$tmp/xp.c" > "$tmp/xp.out" 2>&1
+grep -q "Dead storage" "$tmp/xp.out" && fail "default flags should not see the cross-function release"
+"$OLCLINT" +xproc "$tmp/xp.c" > "$tmp/xp.out" 2>&1
+expect_contains "$tmp/xp.out" "Dead storage p used as rvalue" "+xproc catches the cross-function use-after-free"
+
 # --- summary ----------------------------------------------------------------
 if [ "$failures" -gt 0 ]; then
   echo "cli tests: $failures failure(s)" >&2

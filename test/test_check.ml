@@ -973,6 +973,42 @@ let blind_spot_cases =
       bc_default_codes = [];
       bc_recover = Some (am_flags, "realloclost");
     };
+    (* cross-function blind spots: the release hides in a locally
+       unannotated callee, so the default call-site transfer has no
+       annotation to act on; [+xproc] derives the effect bottom-up (the
+       helper-internal [onlytrans] is leak-class noise, never the
+       witnessing error class) *)
+    {
+      bc_name = "xproc-use-after-free";
+      bc_src =
+        "void drop(char *r) { free(r); }\n\
+         int f(void) {\n\
+        \  char *p = (char *) malloc(1);\n\
+        \  if (p == NULL) { return 1; }\n\
+        \  p[0] = 'x';\n\
+        \  drop(p);\n\
+        \  int v = p[0];\n\
+        \  return v;\n\
+         }\n";
+      bc_default_codes = [ "onlytrans"; "mustfree" ];
+      bc_recover =
+        Some ({ Flags.default with Flags.xproc = true }, "usereleased");
+    };
+    {
+      bc_name = "xproc-double-free";
+      bc_src =
+        "void drop(char *r) { free(r); }\n\
+         void g(void) {\n\
+        \  char *p = (char *) malloc(1);\n\
+        \  if (p == NULL) { exit(1); }\n\
+        \  p[0] = 'x';\n\
+        \  drop(p);\n\
+        \  free(p);\n\
+         }\n";
+      bc_default_codes = [ "onlytrans" ];
+      bc_recover =
+        Some ({ Flags.default with Flags.xproc = true }, "usereleased");
+    };
     (* a borrowed (dependent) alias used after the last reference is
        released: the refcount extension tracks reference balance, not
        alias lifetimes, so no flag recovers this one *)

@@ -78,7 +78,7 @@ let render (oc : Service.outcome) =
 
 (* The cold CLI pipeline, for reference output: stdlib environment,
    parse+sema each file, whole-program check, suppression split. *)
-let direct files =
+let direct ?(flags = flags) files =
   let env = Stdspec.environment ~flags () in
   List.iter
     (fun (name, text) ->
@@ -146,6 +146,58 @@ let test_funsig_edit_rechecks_callers () =
   Alcotest.(check int) "function + callers" 3 oc.Service.oc_rechecked;
   Alcotest.(check (list string))
     "matches a cold check of the edit" (direct edited) (render oc)
+
+let xproc_flags = { Flags.default with Flags.xproc = true }
+
+(* an unannotated helper whose release is only visible to +xproc, and a
+   caller that reads the pointer afterwards *)
+let xproc_files =
+  [
+    ("h.c", "void helper(char *r)\n{\nfree(r);\n}\n");
+    ( "u.c",
+      "int drive(void)\n\
+       {\n\
+       char *p = (char *) malloc(1);\n\
+       if (p == NULL) { return 1; }\n\
+       p[0] = 'x';\n\
+       helper(p);\n\
+       int v = p[0];\n\
+       return v;\n\
+       }\n" );
+  ]
+
+let test_summary_edit_rechecks_callers () =
+  (* under +xproc a cached caller is keyed to its callees' summary
+     hashes: editing helper's BODY (its signature is untouched) changes
+     its derived effect, so drive must be re-checked even though tier
+     classification sees only a body patch *)
+  let svc = Service.create ~flags:xproc_flags () in
+  let first = run svc xproc_files in
+  Alcotest.(check bool) "the buried release is reported" true
+    (List.exists
+       (fun (d : Diag.t) -> d.Diag.code = "usereleased")
+       first.Service.oc_kept);
+  let edited = edit "h.c" "free(r);" "r[0] = 0;" xproc_files in
+  let oc = run svc edited in
+  Alcotest.check tier "patched tier" Service.Patched oc.Service.oc_tier;
+  Alcotest.(check int) "helper AND its caller re-checked" 2
+    oc.Service.oc_rechecked;
+  Alcotest.(check (list string))
+    "matches a cold check of the edit"
+    (direct ~flags:xproc_flags edited)
+    (render oc);
+  Alcotest.(check bool) "the stale use-after-free is gone" true
+    (not
+       (List.exists
+          (fun (d : Diag.t) -> d.Diag.code = "usereleased")
+          oc.Service.oc_kept));
+  (* control: without +xproc the same body edit re-checks only the
+     edited function — summary keys stay out of non-xproc cache keys *)
+  let plain = Service.create ~flags () in
+  ignore (run plain xproc_files);
+  let oc = run plain edited in
+  Alcotest.(check int) "default flags: callee only" 1
+    oc.Service.oc_rechecked
 
 let test_type_edit_invalidates_all () =
   let svc = Service.create ~flags () in
@@ -386,6 +438,8 @@ let () =
           Alcotest.test_case "body edit" `Quick test_body_edit_patches;
           Alcotest.test_case "funsig edit" `Quick
             test_funsig_edit_rechecks_callers;
+          Alcotest.test_case "summary edit recheck" `Quick
+            test_summary_edit_rechecks_callers;
           Alcotest.test_case "type edit" `Quick
             test_type_edit_invalidates_all;
           Alcotest.test_case "flag change" `Quick

@@ -196,7 +196,12 @@ let test_spec_parses () =
         (keys (rank prog r "pair_free"))
 
 let test_spec_rejects () =
-  let expect_error ~line spec =
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+    go 0
+  in
+  let expect_error ~line ~entry spec =
     match Ranker.of_spec ~name:"s.spec" spec with
     | Ok _ -> Alcotest.failf "spec accepted: %S" spec
     | Error e ->
@@ -205,13 +210,17 @@ let test_spec_rejects () =
           (Printf.sprintf "error cites %s (got %s)" prefix e)
           true
           (String.length e >= String.length prefix
-          && String.sub e 0 (String.length prefix) = prefix)
+          && String.sub e 0 (String.length prefix) = prefix);
+        Alcotest.(check bool)
+          (Printf.sprintf "error quotes the offending entry (got %s)" e)
+          true
+          (contains e ("'" ^ entry ^ "'"))
   in
-  expect_error ~line:1 "f bogus only\n";
-  expect_error ~line:1 "f ret wild\n";
-  expect_error ~line:2 "f ret only\nf ret only 1.5\n";
-  expect_error ~line:1 "f ret\n";
-  expect_error ~line:1 "f ret only 0.5 extra\n"
+  expect_error ~line:1 ~entry:"f bogus only" "f bogus only\n";
+  expect_error ~line:1 ~entry:"f ret wild" "f ret wild\n";
+  expect_error ~line:2 ~entry:"f ret only 1.5" "f ret only\nf ret only 1.5\n";
+  expect_error ~line:1 ~entry:"f ret" "f ret\n";
+  expect_error ~line:1 ~entry:"f ret only 0.5 extra" "f ret only 0.5 extra\n"
 
 (* ------------------------------------------------------------------ *)
 (* The pipeline: merge, admissibility, order                           *)

@@ -70,6 +70,51 @@ let test_loopexec_seq_vs_parallel () =
   let par = render p4 (Parcheck.check_program ~jobs:4 p4) in
   Alcotest.(check string) "+loopexec sequential vs -j 4 JSON" seq par
 
+let test_xproc_seq_vs_parallel () =
+  (* +xproc's summary table is computed once, sequentially, before the
+     fan-out; every worker must consult the identical finished table, so
+     output stays byte-identical at every -j on a corpus whose bugs only
+     +xproc can see *)
+  let flags = { Annot.Flags.default with Annot.Flags.xproc = true } in
+  let gen () =
+    Progen.analyse ~flags
+      (Progen.generate ~seed:31 ~modules:4 ~fns_per_module:6
+         ~bugs:
+           [
+             Progen.Bxproc_callee_free; Progen.Bxproc_callee_free_df;
+             Progen.Bxproc_cond_release; Progen.Bxproc_escape_store;
+           ]
+         ())
+  in
+  let run jobs =
+    let p = gen () in
+    render p (Parcheck.check_program ~jobs p)
+  in
+  let seq = run 1 in
+  Alcotest.(check bool) "some diagnostics produced" true
+    (String.length seq > 0);
+  Alcotest.(check string) "+xproc -j 1 vs -j 4" seq (run 4)
+
+let test_xproc_annotated_identity () =
+  (* the override contract: on a fully annotated corpus the summaries
+     have nothing to add — every call-site slot is covered by an
+     explicit annotation, which always wins — so +xproc output is
+     byte-identical to plain annotation-driven checking *)
+  let gen flags =
+    Progen.analyse ~flags
+      (Progen.generate ~seed:47 ~modules:5 ~fns_per_module:7 ~annotated:true
+         ())
+  in
+  let run flags =
+    let p = gen flags in
+    render p (Parcheck.check_program ~jobs:2 p)
+  in
+  let plain = run Annot.Flags.default in
+  let xproc =
+    run { Annot.Flags.default with Annot.Flags.xproc = true }
+  in
+  Alcotest.(check string) "annotated corpus: +xproc adds nothing" plain xproc
+
 let test_progen_corpus_jobs () =
   (* a generated multi-module corpus with seeded bugs: the per-procedure
      work-stealing scheduler must stay byte-identical across -j 1/4/64 *)
@@ -163,6 +208,10 @@ let () =
             test_loopexec_seq_vs_parallel;
           Alcotest.test_case "progen corpus -j 1/4/64" `Quick
             test_progen_corpus_jobs;
+          Alcotest.test_case "+xproc sequential vs -j 4" `Quick
+            test_xproc_seq_vs_parallel;
+          Alcotest.test_case "+xproc annotated identity" `Quick
+            test_xproc_annotated_identity;
         ] );
       ( "scheduler",
         [

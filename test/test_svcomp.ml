@@ -18,6 +18,7 @@ let yardstick_flags =
     loop_exec = true;
     free_offset = true;
     free_static = true;
+    xproc = true;
   }
 
 let load () =
@@ -105,6 +106,44 @@ let test_default_flags_miss_pinned () =
   Alcotest.(check string) "defaults miss realloc-lost" "true"
     (Svcomp.verdict_string lost.Svcomp.s_verdict)
 
+let test_xproc_pair () =
+  (* the interprocedural tasks split on +xproc: under the yardstick each
+     scores correct-false with the summary-driven witness; without the
+     flag the release/escape buried in the unannotated callee is
+     invisible, so no diagnostic serves the subproperty (the leak-class
+     noise keeps the verdict at unknown, not an unsound true) *)
+  let scored = List.map (Svcomp.run_task ~flags:yardstick_flags) (load ()) in
+  let expect name code =
+    let s = find_scored name scored in
+    Alcotest.(check string) (name ^ " verdict") "false"
+      (Svcomp.verdict_string s.Svcomp.s_verdict);
+    Alcotest.(check bool)
+      (name ^ " witnessed by " ^ code)
+      true
+      (List.mem code s.Svcomp.s_codes)
+  in
+  expect "deref-xproc-callee-free" "usereleased";
+  expect "free-xproc-cond-release" "usereleased";
+  expect "deref-xproc-escape-store" "escapefree";
+  expect "memtrack-xproc-wrapper-leak" "mustfree";
+  let default =
+    List.map (Svcomp.run_task ~flags:Flags.default) (load ())
+  in
+  List.iter
+    (fun name ->
+      let s = find_scored name default in
+      Alcotest.(check bool) (name ^ " defaults do not refute") true
+        (s.Svcomp.s_verdict <> Svcomp.Vfalse))
+    [
+      "deref-xproc-callee-free"; "free-xproc-cond-release";
+      "deref-xproc-escape-store";
+    ];
+  (* the wrapper leak is the over-reported direction: implicit [only]
+     returns make the caller's drop visible even without summaries *)
+  let wl = find_scored "memtrack-xproc-wrapper-leak" default in
+  Alcotest.(check string) "wrapper leak refuted by defaults too" "false"
+    (Svcomp.verdict_string wl.Svcomp.s_verdict)
+
 let () =
   Alcotest.run "svcomp"
     [
@@ -122,5 +161,6 @@ let () =
             test_subproperty_restricts_witnesses;
           Alcotest.test_case "default-flags miss" `Quick
             test_default_flags_miss_pinned;
+          Alcotest.test_case "xproc pair" `Quick test_xproc_pair;
         ] );
     ]
